@@ -1,0 +1,151 @@
+// Module-level benchmarks: one benchmark per reproduction experiment
+// (E1–E17, see DESIGN.md §3) plus micro-benchmarks of the simulator's
+// per-round cost. Each experiment benchmark executes the harness at reduced
+// scale and prints its tables once, so `go test -bench=. -benchmem`
+// regenerates the full set of paper-reproduction rows; full-scale tables
+// come from `go run ./cmd/missweep -run all` and are recorded in
+// EXPERIMENTS.md.
+package ssmis_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssmis"
+	"ssmis/internal/baseline"
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+	"ssmis/internal/xrand"
+)
+
+// benchScale keeps the full `go test -bench=.` sweep around laptop-minutes.
+const benchScale = 0.1
+
+var printOnce sync.Map
+
+// runExperiment executes experiment `id` b.N times, printing its tables on
+// the first execution only.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := ssmis.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := ssmis.ExperimentConfig{Scale: benchScale, Seed: 2023}
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Printf("\n### %s — %s (benchmark scale %.2f)\n", e.ID, e.Title, benchScale)
+			for _, t := range tables {
+				fmt.Print(t.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkE01CliqueTwoState(b *testing.B)    { runExperiment(b, "E1") }
+func BenchmarkE02DisjointCliques(b *testing.B)   { runExperiment(b, "E2") }
+func BenchmarkE03CliqueThreeState(b *testing.B)  { runExperiment(b, "E3") }
+func BenchmarkE04Trees(b *testing.B)             { runExperiment(b, "E4") }
+func BenchmarkE05MaxDegree(b *testing.B)         { runExperiment(b, "E5") }
+func BenchmarkE06GnpTwoState(b *testing.B)       { runExperiment(b, "E6") }
+func BenchmarkE07GnpThreeColor(b *testing.B)     { runExperiment(b, "E7") }
+func BenchmarkE08LogSwitch(b *testing.B)         { runExperiment(b, "E8") }
+func BenchmarkE09GoodGraph(b *testing.B)         { runExperiment(b, "E9") }
+func BenchmarkE10Baselines(b *testing.B)         { runExperiment(b, "E10") }
+func BenchmarkE11SelfStabilization(b *testing.B) { runExperiment(b, "E11") }
+func BenchmarkE12Runtimes(b *testing.B)          { runExperiment(b, "E12") }
+func BenchmarkE13Ablations(b *testing.B)         { runExperiment(b, "E13") }
+func BenchmarkE14LocalTimes(b *testing.B)        { runExperiment(b, "E14") }
+func BenchmarkE15TopologyChurn(b *testing.B)     { runExperiment(b, "E15") }
+func BenchmarkE16MISQuality(b *testing.B)        { runExperiment(b, "E16") }
+func BenchmarkE17RestartScheme(b *testing.B)     { runExperiment(b, "E17") }
+
+// --- simulator micro-benchmarks ---
+
+func benchFullRun(b *testing.B, mk func(seed uint64) ssmis.Result) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer() // exclude graph construction in the caller
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res := mk(uint64(i))
+		if !res.Stabilized {
+			b.Fatal("run did not stabilize")
+		}
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/run")
+}
+
+func BenchmarkRunTwoStateGnp10k(b *testing.B) {
+	g := ssmis.GnpAvgDegree(10000, 10, 1)
+	benchFullRun(b, func(seed uint64) ssmis.Result {
+		return ssmis.Run(ssmis.NewTwoState(g, ssmis.WithSeed(seed)), 0)
+	})
+}
+
+func BenchmarkRunTwoStateClique4k(b *testing.B) {
+	g := ssmis.Complete(4096)
+	benchFullRun(b, func(seed uint64) ssmis.Result {
+		return ssmis.Run(ssmis.NewTwoState(g, ssmis.WithSeed(seed)), 0)
+	})
+}
+
+func BenchmarkRunThreeStateGnp10k(b *testing.B) {
+	g := ssmis.GnpAvgDegree(10000, 10, 2)
+	benchFullRun(b, func(seed uint64) ssmis.Result {
+		return ssmis.Run(ssmis.NewThreeState(g, ssmis.WithSeed(seed)), 0)
+	})
+}
+
+func BenchmarkRunThreeColorGnp5k(b *testing.B) {
+	g := ssmis.GnpAvgDegree(5000, 20, 3)
+	benchFullRun(b, func(seed uint64) ssmis.Result {
+		return ssmis.Run(ssmis.NewThreeColor(g, ssmis.WithSeed(seed)), 0)
+	})
+}
+
+func BenchmarkStepTwoStateGnp100k(b *testing.B) {
+	// Per-round cost on a large sparse graph, measured mid-run (states kept
+	// away from stabilization by reinitializing when it gets close).
+	g := graph.GnpAvgDegree(100000, 10, xrand.New(4))
+	p := mis.NewTwoState(g, mis.WithSeed(9), mis.WithInit(mis.InitAllWhite))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Stabilized() {
+			b.StopTimer()
+			p = mis.NewTwoState(g, mis.WithSeed(uint64(i)), mis.WithInit(mis.InitAllWhite))
+			b.StartTimer()
+		}
+		p.Step()
+	}
+}
+
+func BenchmarkBeepingRuntime1k(b *testing.B) {
+	// Goroutine-per-node engine cost: full stabilization on 1000 nodes.
+	g := ssmis.GnpAvgDegree(1000, 8, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := ssmis.NewBeepingMIS(g, uint64(i), nil)
+		if _, ok := m.Run(1 << 20); !ok {
+			b.Fatal("did not stabilize")
+		}
+		m.Close()
+	}
+}
+
+func BenchmarkLubyGnp10k(b *testing.B) {
+	g := ssmis.GnpAvgDegree(10000, 10, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if baseline.Luby(g, uint64(i)).Rounds == 0 {
+			b.Fatal("luby returned no rounds")
+		}
+	}
+}

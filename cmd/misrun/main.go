@@ -1,0 +1,274 @@
+// Command misrun executes one self-stabilizing MIS process on one graph and
+// prints the outcome: rounds to stabilization, random bits consumed, and the
+// MIS size, with optional per-round progress.
+//
+// Usage:
+//
+//	misrun -graph gnp -n 1000 -p 0.01 -proc 2state -seed 42 -progress
+//
+// Graphs: gnp, clique, path, cycle, star, tree, grid, cliques, regular, or
+// file (-in <edge-list>). Processes: 2state, 3state, 3color. Engines: sim
+// (default), node (the goroutine-per-node beeping/stone-age runtime).
+// With -trials N, the run is repeated over consecutive seeds and summary
+// statistics are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssmis/internal/beeping"
+	"ssmis/internal/graph"
+	"ssmis/internal/graphio"
+	"ssmis/internal/mis"
+	"ssmis/internal/stats"
+	"ssmis/internal/stoneage"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+func newBeeping(g *graph.Graph, seed uint64) *beeping.MIS {
+	return beeping.NewMIS(g, seed, nil)
+}
+
+func newStoneAge3S(g *graph.Graph, seed uint64) *stoneage.ThreeStateMIS {
+	return stoneage.NewThreeStateMIS(g, seed, nil)
+}
+
+func newStoneAge3C(g *graph.Graph, seed uint64) *stoneage.ThreeColorMIS {
+	return stoneage.NewThreeColorMIS(g, seed, nil, nil)
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		graphKind = flag.String("graph", "gnp", "graph family: gnp|clique|path|cycle|star|tree|grid|cliques|regular|file")
+		inPath    = flag.String("in", "", "edge-list file to load when -graph file")
+		n         = flag.Int("n", 1000, "number of vertices")
+		p         = flag.Float64("p", 0.01, "edge probability (gnp) ")
+		degree    = flag.Int("d", 8, "degree (regular)")
+		procKind  = flag.String("proc", "2state", "process: 2state|3state|3color")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		initKind  = flag.String("init", "random", "initialization: random|all-white|all-black|checkerboard|near-mis")
+		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		progress  = flag.Bool("progress", false, "print per-round aggregates")
+		engine    = flag.String("engine", "sim", "execution engine: sim|node")
+		trials    = flag.Int("trials", 1, "run this many seeds (seed, seed+1, ...) and print summary statistics")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*graphKind, *inPath, *n, *p, *degree, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
+		return 2
+	}
+	limit := *maxRounds
+	if limit <= 0 {
+		limit = 8 * mis.DefaultRoundCap(g.N())
+	}
+
+	if *engine == "node" {
+		return runNodeEngine(g, *procKind, *seed, limit)
+	}
+
+	init, err := parseInit(*initKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
+		return 2
+	}
+	if *trials > 1 {
+		return runTrials(g, *procKind, init, *seed, *trials, limit)
+	}
+	var proc mis.Process
+	switch *procKind {
+	case "2state":
+		proc = mis.NewTwoState(g, mis.WithSeed(*seed), mis.WithInit(init))
+	case "3state":
+		proc = mis.NewThreeState(g, mis.WithSeed(*seed), mis.WithInit(init))
+	case "3color":
+		proc = mis.NewThreeColor(g, mis.WithSeed(*seed), mis.WithInit(init))
+	default:
+		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", *procKind)
+		return 2
+	}
+
+	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d\n", *graphKind, g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("process %s (%d states), init %s, seed %d\n", proc.Name(), proc.States(), init, *seed)
+
+	if *progress {
+		for !proc.Stabilized() && proc.Round() < limit {
+			m := mis.Snapshot(proc)
+			fmt.Printf("round %4d: black=%d active=%d stable-black=%d unstable=%d gray=%d\n",
+				m.Round, m.Black, m.Active, m.StableBlack, m.Unstable, m.Gray)
+			proc.Step()
+		}
+	}
+	res := mis.Run(proc, limit)
+	if !res.Stabilized {
+		fmt.Printf("did NOT stabilize within %d rounds\n", limit)
+		return 1
+	}
+	if err := verify.MIS(g, proc.Black); err != nil {
+		fmt.Fprintln(os.Stderr, "misrun: INVALID RESULT:", err)
+		return 1
+	}
+	misSize := 0
+	for u := 0; u < g.N(); u++ {
+		if proc.Black(u) {
+			misSize++
+		}
+	}
+	fmt.Printf("stabilized in %d rounds; MIS size %d; %d random bits (%.2f bits/vertex/round)\n",
+		res.Rounds, misSize, res.RandomBits,
+		float64(res.RandomBits)/float64(g.N())/maxf(1, float64(res.Rounds)))
+	return 0
+}
+
+// runTrials executes many seeded runs and prints distribution statistics.
+func runTrials(g *graph.Graph, procKind string, init mis.Init, seed uint64, trials, limit int) int {
+	newProc := func(s uint64) mis.Process {
+		switch procKind {
+		case "2state":
+			return mis.NewTwoState(g, mis.WithSeed(s), mis.WithInit(init))
+		case "3state":
+			return mis.NewThreeState(g, mis.WithSeed(s), mis.WithInit(init))
+		case "3color":
+			return mis.NewThreeColor(g, mis.WithSeed(s), mis.WithInit(init))
+		default:
+			return nil
+		}
+	}
+	if newProc(seed) == nil {
+		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", procKind)
+		return 2
+	}
+	var rounds []float64
+	failures := 0
+	for i := 0; i < trials; i++ {
+		p := newProc(seed + uint64(i))
+		res := mis.Run(p, limit)
+		if !res.Stabilized || verify.MIS(g, p.Black) != nil {
+			failures++
+			continue
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	if len(rounds) == 0 {
+		fmt.Printf("all %d trials failed to stabilize within %d rounds\n", trials, limit)
+		return 1
+	}
+	s := stats.Summarize(rounds)
+	fmt.Printf("%s on n=%d m=%d, %d trials (seeds %d..%d), init %s:\n",
+		procKind, g.N(), g.M(), trials, seed, seed+uint64(trials)-1, init)
+	fmt.Printf("  rounds: %s (95%% CI ±%.2f)\n", s, s.MeanCI95())
+	if failures > 0 {
+		fmt.Printf("  %d/%d trials hit the round cap\n", failures, trials)
+		return 1
+	}
+	return 0
+}
+
+func buildGraph(kind, inPath string, n int, p float64, d int, seed uint64) (*graph.Graph, error) {
+	rng := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+	switch kind {
+	case "file":
+		if inPath == "" {
+			return nil, fmt.Errorf("-graph file requires -in <path>")
+		}
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, fmt.Errorf("open graph file: %w", err)
+		}
+		defer f.Close()
+		return graphio.ReadEdgeList(f)
+	case "gnp":
+		return graph.Gnp(n, p, rng), nil
+	case "clique":
+		return graph.Complete(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "tree":
+		return graph.RandomTree(n, rng), nil
+	case "grid":
+		s := isqrt(n)
+		return graph.Grid(s, s), nil
+	case "cliques":
+		s := isqrt(n)
+		return graph.DisjointCliques(s, s), nil
+	case "regular":
+		if n*d%2 != 0 {
+			n++
+		}
+		return graph.RandomRegular(n, d, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}
+
+func runNodeEngine(g *graph.Graph, procKind string, seed uint64, limit int) int {
+	switch procKind {
+	case "2state":
+		m := newBeeping(g, seed)
+		defer m.Close()
+		rounds, ok := m.Run(limit)
+		return report(g, "beeping-cd", rounds, ok, m.Black)
+	case "3state":
+		m := newStoneAge3S(g, seed)
+		defer m.Close()
+		rounds, ok := m.Run(limit)
+		return report(g, "stone-age(2ch)", rounds, ok, m.Black)
+	case "3color":
+		m := newStoneAge3C(g, seed)
+		defer m.Close()
+		rounds, ok := m.Run(limit)
+		return report(g, "stone-age(12ch)", rounds, ok, m.Black)
+	default:
+		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", procKind)
+		return 2
+	}
+}
+
+func report(g *graph.Graph, model string, rounds int, ok bool, black func(int) bool) int {
+	if !ok {
+		fmt.Printf("node engine (%s): did NOT stabilize in %d rounds\n", model, rounds)
+		return 1
+	}
+	if err := verify.MIS(g, black); err != nil {
+		fmt.Fprintln(os.Stderr, "misrun: INVALID RESULT:", err)
+		return 1
+	}
+	fmt.Printf("node engine (%s): stabilized in %d rounds on n=%d\n", model, rounds, g.N())
+	return 0
+}
+
+func parseInit(s string) (mis.Init, error) {
+	for _, init := range mis.AllInits() {
+		if init.String() == s {
+			return init, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown init %q", s)
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+
+	"ssmis/internal/mis"
+)
+
+func TestBuildGraphFamilies(t *testing.T) {
+	cases := []struct {
+		kind string
+		n    int
+	}{
+		{"gnp", 100}, {"clique", 50}, {"path", 30}, {"cycle", 30},
+		{"star", 30}, {"tree", 100}, {"grid", 100}, {"cliques", 100},
+		{"regular", 100},
+	}
+	for _, c := range cases {
+		g, err := buildGraph(c.kind, "", c.n, 0.05, 4, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("%s: empty graph", c.kind)
+		}
+	}
+	if _, err := buildGraph("nope", "", 10, 0.1, 2, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := buildGraph("file", "", 10, 0.1, 2, 1); err == nil {
+		t.Error("file family without -in accepted")
+	}
+	if _, err := buildGraph("file", "/nonexistent/x", 10, 0.1, 2, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildGraphRegularOddProduct(t *testing.T) {
+	// n*d odd gets n bumped to keep the configuration model valid.
+	g, err := buildGraph("regular", "", 101, 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N()%2 != 0 && 3%2 != 0 && g.N()*3%2 != 0 {
+		t.Fatal("odd n*d not fixed")
+	}
+}
+
+func TestParseInit(t *testing.T) {
+	for _, init := range mis.AllInits() {
+		got, err := parseInit(init.String())
+		if err != nil || got != init {
+			t.Errorf("parseInit(%q) = %v, %v", init.String(), got, err)
+		}
+	}
+	if _, err := parseInit("bogus"); err == nil {
+		t.Error("bogus init accepted")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 1, 4: 2, 99: 9, 100: 10, 101: 10}
+	for n, want := range cases {
+		if got := isqrt(n); got != want {
+			t.Errorf("isqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRunTrialsSmoke(t *testing.T) {
+	g, err := buildGraph("clique", "", 64, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := runTrials(g, "2state", mis.InitRandom, 1, 5, 100000); rc != 0 {
+		t.Fatalf("runTrials returned %d", rc)
+	}
+	if rc := runTrials(g, "bogus", mis.InitRandom, 1, 5, 1000); rc != 2 {
+		t.Fatalf("bogus process returned %d, want 2", rc)
+	}
+}

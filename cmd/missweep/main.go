@@ -1,0 +1,95 @@
+// Command missweep regenerates the paper-reproduction experiment tables.
+//
+// Usage:
+//
+//	missweep -run all            # every experiment at full scale
+//	missweep -run E1,E7 -scale 0.25
+//	missweep -list
+//	missweep -run E9 -csv        # machine-readable output
+//
+// Experiment ids and claims are listed by -list and indexed in DESIGN.md §3;
+// the full-scale outputs are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ssmis/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "cost multiplier (sizes and trials); 0.25 = quick")
+		seed   = flag.Uint64("seed", 2023, "master seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csv    = flag.Bool("csv", false, "emit CSV instead of fixed-width tables")
+		outDir = flag.String("out", "", "also write one CSV file per table into this directory")
+	)
+	flag.Parse()
+
+	if *list || *runIDs == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiment.Registry() {
+			fmt.Printf("  %-4s %s\n       claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		if *runIDs == "" && !*list {
+			fmt.Println("\nuse -run <ids>|all to execute")
+		}
+		return 0
+	}
+
+	var selected []experiment.Experiment
+	if strings.EqualFold(*runIDs, "all") {
+		selected = experiment.Registry()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "missweep: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "missweep: create -out dir: %v\n", err)
+			return 1
+		}
+	}
+	cfg := experiment.Config{Scale: *scale, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("paper claim: %s\n\n", e.Claim)
+		for i, tab := range e.Run(cfg) {
+			if *csv {
+				fmt.Print(tab.CSV())
+			} else {
+				fmt.Print(tab.Render())
+			}
+			fmt.Println()
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+				path := filepath.Join(*outDir, name)
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "missweep: write %s: %v\n", path, err)
+					return 1
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+// Churn: a long-lived network whose topology keeps changing. The process
+// never restarts — links come and go, vertex states persist, and
+// self-stabilization continuously repairs the MIS. Midway the execution is
+// checkpointed to JSON and restored, continuing bit-for-bit: long-running
+// deployments can survive process restarts with no protocol support.
+//
+// Run with: go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssmis"
+)
+
+func main() {
+	g := ssmis.GnpAvgDegree(800, 10, 3)
+	fmt.Printf("initial network: %d vertices, %d edges\n", g.N(), g.M())
+
+	p := ssmis.NewTwoState(g, ssmis.WithSeed(17))
+	res := ssmis.Run(p, 0)
+	if !res.Stabilized {
+		log.Fatal("initial stabilization failed")
+	}
+	fmt.Printf("stabilized in %d rounds; MIS size %d\n\n", res.Rounds, len(ssmis.BlackSet(p)))
+
+	// Epoch loop: every epoch, a batch of links flips; the process keeps
+	// its states and absorbs the change.
+	const epochs = 8
+	totalRecovery := 0
+	for e := 1; e <= epochs; e++ {
+		var toggles [][2]int
+		g, toggles = ssmis.Churn(g, 12, uint64(100+e))
+		p.Rebind(g)
+		before := p.Round()
+		res = ssmis.Run(p, 0)
+		if !res.Stabilized {
+			log.Fatalf("epoch %d: did not re-stabilize", e)
+		}
+		if err := ssmis.VerifyMIS(g, ssmis.BlackSet(p)); err != nil {
+			log.Fatalf("epoch %d: %v", e, err)
+		}
+		rec := res.Rounds - before
+		totalRecovery += rec
+		fmt.Printf("epoch %d: %d links flipped (e.g. %v), re-stabilized in %d rounds, MIS size %d\n",
+			e, len(toggles), toggles[0], rec, len(ssmis.BlackSet(p)))
+
+		if e == epochs/2 {
+			// Mid-life checkpoint: serialize, drop the process, restore.
+			cp, err := p.Checkpoint()
+			if err != nil {
+				log.Fatal(err)
+			}
+			blob, err := cp.Encode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			decoded, err := ssmis.DecodeCheckpoint(blob)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err = ssmis.RestoreTwoState(g, decoded)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  ↻ checkpointed (%d bytes of JSON) and restored at round %d\n",
+				len(blob), p.Round())
+		}
+	}
+	fmt.Printf("\n%d epochs of churn absorbed; mean recovery %.1f rounds (fresh start costs ~%d)\n",
+		epochs, float64(totalRecovery)/epochs, res.Rounds-totalRecovery)
+}

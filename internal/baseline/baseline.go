@@ -1,0 +1,178 @@
+// Package baseline implements the classical distributed MIS algorithms the
+// paper's related-work section compares against, plus exact sequential
+// constructions used by tests:
+//
+//   - Luby's algorithm [24] in its random-value form: each round every
+//     undecided vertex draws a random value; local minima join the MIS and
+//     their neighborhoods retire. O(log n) rounds w.h.p., but each vertex
+//     needs Θ(log n) random bits per round, Θ(log n)-bit messages, and
+//     super-constant state — the costs the paper's constant-state processes
+//     avoid — and it is not self-stabilizing (it assumes a clean start).
+//
+//   - Random-permutation greedy (the parallel greedy of Blelloch et al.):
+//     a single global random priority, processed in parallel rounds. Used
+//     as a second, structurally different baseline.
+//
+//   - Sequential greedy MIS over a given order — the exact reference
+//     construction for verification.
+package baseline
+
+import (
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// Result reports a baseline run.
+type Result struct {
+	// Rounds is the number of synchronous rounds used.
+	Rounds int
+	// RandomBits counts the random bits consumed (64 per value draw).
+	RandomBits int64
+	// InMIS is the computed maximal independent set.
+	InMIS []bool
+}
+
+// Luby runs Luby's random-value MIS algorithm on g with the given seed and
+// returns the rounds used. Each round, every undecided vertex draws a
+// uniform 64-bit value; a vertex whose value is strictly smaller than all
+// undecided neighbors' joins the MIS, and its neighbors leave the graph.
+// Ties (probability ~2^-64) are broken toward the smaller vertex id.
+func Luby(g *graph.Graph, seed uint64) Result {
+	n := g.N()
+	master := xrand.New(seed)
+	rngs := make([]*xrand.Rand, n)
+	for u := range rngs {
+		rngs[u] = master.Split(uint64(u))
+	}
+	const (
+		undecided = iota
+		inMIS
+		retired
+	)
+	status := make([]uint8, n)
+	vals := make([]uint64, n)
+	res := Result{InMIS: make([]bool, n)}
+	remaining := n
+	for remaining > 0 {
+		res.Rounds++
+		for u := 0; u < n; u++ {
+			if status[u] == undecided {
+				vals[u] = rngs[u].Uint64()
+				res.RandomBits += 64
+			}
+		}
+		// Local minima join — decided against the pre-round status snapshot,
+		// then committed, so same-round joins don't hide each other.
+		var joined []int
+		for u := 0; u < n; u++ {
+			if status[u] != undecided {
+				continue
+			}
+			isMin := true
+			for _, v := range g.Neighbors(u) {
+				if status[v] != undecided {
+					continue
+				}
+				if vals[v] < vals[u] || (vals[v] == vals[u] && int(v) < u) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				joined = append(joined, u)
+			}
+		}
+		for _, u := range joined {
+			status[u] = inMIS
+			res.InMIS[u] = true
+			remaining--
+			for _, v := range g.Neighbors(u) {
+				if status[v] == undecided {
+					status[v] = retired
+					remaining--
+				}
+			}
+		}
+	}
+	return res
+}
+
+// PermutationGreedy runs the parallel random-permutation greedy MIS: a
+// single uniform priority permutation is drawn up front; in each round,
+// every undecided vertex whose priority beats all undecided neighbors joins
+// the MIS and retires its neighborhood. Equivalent to sequential greedy over
+// the permutation; the round count is the permutation's dependence depth.
+func PermutationGreedy(g *graph.Graph, seed uint64) Result {
+	n := g.N()
+	rng := xrand.New(seed)
+	perm := rng.Perm(n)
+	prio := make([]int, n) // lower = stronger
+	for i, u := range perm {
+		prio[u] = i
+	}
+	const (
+		undecided = iota
+		inMIS
+		retired
+	)
+	status := make([]uint8, n)
+	res := Result{InMIS: make([]bool, n), RandomBits: int64(n) * 64}
+	remaining := n
+	for remaining > 0 {
+		res.Rounds++
+		var joined []int
+		for u := 0; u < n; u++ {
+			if status[u] != undecided {
+				continue
+			}
+			best := true
+			for _, v := range g.Neighbors(u) {
+				if status[v] == undecided && prio[v] < prio[u] {
+					best = false
+					break
+				}
+			}
+			if best {
+				joined = append(joined, u)
+			}
+		}
+		for _, u := range joined {
+			status[u] = inMIS
+			res.InMIS[u] = true
+			remaining--
+			for _, v := range g.Neighbors(u) {
+				if status[v] == undecided {
+					status[v] = retired
+					remaining--
+				}
+			}
+		}
+	}
+	return res
+}
+
+// GreedyMIS computes the sequential greedy MIS over the given vertex order
+// (or 0..n-1 when order is nil) — the deterministic reference construction.
+func GreedyMIS(g *graph.Graph, order []int) []bool {
+	n := g.N()
+	inMIS := make([]bool, n)
+	blocked := make([]bool, n)
+	visit := func(u int) {
+		if !blocked[u] {
+			inMIS[u] = true
+			for _, v := range g.Neighbors(u) {
+				blocked[v] = true
+			}
+		}
+	}
+	if order == nil {
+		for u := 0; u < n; u++ {
+			visit(u)
+		}
+	} else {
+		for _, u := range order {
+			visit(u)
+		}
+	}
+	return inMIS
+}

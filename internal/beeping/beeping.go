@@ -1,0 +1,120 @@
+// Package beeping implements the paper's 2-state MIS process as a node
+// program for the beeping model with sender collision detection
+// (full-duplex), running on the goroutine-per-node engine of
+// internal/noderun.
+//
+// The translation is the one described in the paper's introduction: black
+// nodes beep every round, white nodes listen. A black node that hears a beep
+// has a black neighbor (this needs full-duplex); a white node that hears
+// silence has none. In either case the node is "active" and resets to a
+// uniformly random color using a single fresh random bit.
+//
+// Node u's random stream is Split(u) of the master seed, identical to the
+// array simulator in internal/mis, so a beeping run and a simulator run with
+// the same (graph, seed, initial colors) produce identical executions
+// round-for-round.
+package beeping
+
+import (
+	"ssmis/internal/graph"
+	"ssmis/internal/noderun"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+// node is the per-vertex 2-state program. It knows nothing but its own color
+// and its own coin stream.
+type node struct {
+	black bool
+	rng   *xrand.Rand
+	bits  int64
+}
+
+var _ noderun.Program = (*node)(nil)
+
+// Emit implements noderun.Program: black nodes beep on the single channel.
+func (nd *node) Emit() uint32 {
+	if nd.black {
+		return 1
+	}
+	return 0
+}
+
+// Deliver implements noderun.Program: the 2-state update rule. heard bit 0
+// is "some neighbor beeped", i.e. "some neighbor is black".
+func (nd *node) Deliver(heard uint32) {
+	blackNeighbor := heard&1 != 0
+	active := nd.black == blackNeighbor
+	if active {
+		nd.black = nd.rng.Bit()
+		nd.bits++
+	}
+}
+
+// MIS runs the 2-state MIS protocol over the beeping medium on g.
+type MIS struct {
+	g      *graph.Graph
+	engine *noderun.Engine
+	nodes  []*node
+}
+
+// NewMIS creates the protocol instance. initialBlack may be nil for a
+// uniformly random initial coloring (drawn exactly as the simulator's
+// InitRandom does, from the master seed's init stream).
+func NewMIS(g *graph.Graph, seed uint64, initialBlack []bool) *MIS {
+	n := g.N()
+	master := xrand.New(seed)
+	nodes := make([]*node, n)
+	progs := make([]noderun.Program, n)
+	var initRng *xrand.Rand
+	if initialBlack == nil {
+		initRng = master.Split(uint64(n) + 1)
+	}
+	for u := 0; u < n; u++ {
+		nd := &node{rng: master.Split(uint64(u))}
+		if initialBlack != nil {
+			nd.black = initialBlack[u]
+		} else {
+			nd.black = initRng.Bit()
+		}
+		nodes[u] = nd
+		progs[u] = nd
+	}
+	return &MIS{
+		g:      g,
+		engine: noderun.NewEngine(g, noderun.BeepingCD(), progs),
+		nodes:  nodes,
+	}
+}
+
+// Close releases the node goroutines.
+func (m *MIS) Close() { m.engine.Close() }
+
+// Round returns the number of completed rounds.
+func (m *MIS) Round() int { return m.engine.Round() }
+
+// Black reports vertex u's current color (valid between rounds).
+func (m *MIS) Black(u int) bool { return m.nodes[u].black }
+
+// RandomBits returns the total random bits drawn across all nodes.
+func (m *MIS) RandomBits() int64 {
+	var total int64
+	for _, nd := range m.nodes {
+		total += nd.bits
+	}
+	return total
+}
+
+// Stabilized reports whether no vertex is active, i.e. the black set is an
+// MIS. This is an observer-side check (the nodes themselves cannot detect
+// global stabilization — nor do they need to: stabilization is a property of
+// the execution, not a node output).
+func (m *MIS) Stabilized() bool {
+	return verify.Unstable(m.g, m.Black).Empty()
+}
+
+// Run advances until stabilization or maxRounds and reports the rounds
+// executed and whether the protocol stabilized.
+func (m *MIS) Run(maxRounds int) (rounds int, stabilized bool) {
+	return m.engine.RunUntil(maxRounds, m.Stabilized)
+}

@@ -1,0 +1,107 @@
+package experiment
+
+// Experiment E14: local vs global stabilization time. The paper's bounds
+// (and its related-work discussion of Ghaffari's local-complexity analysis
+// [16]) distinguish how long a TYPICAL vertex takes to stabilize from how
+// long the LAST one does; the global polylog bounds are driven by straggler
+// vertices. This experiment measures the per-vertex stabilization-time
+// distribution the instrumented simulator records.
+
+import (
+	"fmt"
+	"math"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+	"ssmis/internal/stats"
+	"ssmis/internal/xrand"
+)
+
+func e14LocalTimes() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Local vs global stabilization time",
+		Claim: "Implicit in §1.2/[16]: progress is local — most vertices stabilize in O(1) rounds and the global polylog bound is a straggler phenomenon (the analysis measures progress by the expected number of newly stable vertices)",
+		Run: func(cfg Config) []Table {
+			cfg = cfg.normalized()
+			trials := cfg.trials(30)
+			sizes := cfg.sizes([]int{1024, 4096, 16384})
+			families := []struct {
+				name string
+				gen  func(n int, seed uint64) *graph.Graph
+			}{
+				{"gnp-avg12", func(n int, seed uint64) *graph.Graph {
+					return graph.GnpAvgDegree(n, 12, xrand.New(seed))
+				}},
+				{"tree", func(n int, seed uint64) *graph.Graph {
+					return graph.RandomTree(n, xrand.New(seed))
+				}},
+				{"powerlaw-2.3", func(n int, seed uint64) *graph.Graph {
+					return graph.ChungLu(n, 2.3, 12, xrand.New(seed))
+				}},
+			}
+			var tables []Table
+			for _, fam := range families {
+				t := Table{
+					Title: "E14: per-vertex stabilization times, 2-state on " + fam.name,
+					Columns: []string{"n", "mean local", "median local", "p99 local",
+						"global (max)", "mean/global"},
+				}
+				for _, n := range sizes {
+					master := xrand.New(cfg.Seed + uint64(n))
+					var locals []float64
+					var globals []float64
+					for i := 0; i < trials; i++ {
+						seed := master.Split(uint64(i)).Uint64()
+						g := fam.gen(n, seed)
+						p := mis.NewTwoState(g, mis.WithSeed(seed), mis.WithLocalTimes())
+						res := mis.Run(p, 4*mis.DefaultRoundCap(n))
+						if !res.Stabilized {
+							continue
+						}
+						for _, ti := range p.StabilizationTimes() {
+							locals = append(locals, float64(ti))
+						}
+						globals = append(globals, float64(res.Rounds))
+					}
+					if len(locals) == 0 {
+						t.AddRow(n, "-", "-", "-", "-", "-")
+						continue
+					}
+					sl := stats.Summarize(locals)
+					sg := stats.Summarize(globals)
+					t.AddRow(n, sl.Mean, sl.Median, sl.P99, sg.Mean, sl.Mean/sg.Mean)
+				}
+				t.Notes = append(t.Notes,
+					"claim shape: mean and median local times are O(1)-ish and grow far slower than the global max; mean/global shrinks with n")
+				tables = append(tables, t)
+			}
+
+			// The straggler profile: fraction of vertices not yet stable
+			// after r rounds, one representative run.
+			n := sizes[len(sizes)-1]
+			g := graph.GnpAvgDegree(n, 12, xrand.New(cfg.Seed+77))
+			p := mis.NewTwoState(g, mis.WithSeed(cfg.Seed+78), mis.WithLocalTimes())
+			res := mis.Run(p, 4*mis.DefaultRoundCap(n))
+			prof := Table{
+				Title:   fmt.Sprintf("E14b: survival profile on G(%d, avg 12) — fraction unstable after r rounds", n),
+				Columns: []string{"r", "fraction unstable"},
+			}
+			if res.Stabilized {
+				times := p.StabilizationTimes()
+				for r := 0; r <= res.Rounds; r += int(math.Max(1, float64(res.Rounds)/12)) {
+					cnt := 0
+					for _, ti := range times {
+						if ti > r {
+							cnt++
+						}
+					}
+					prof.AddRow(r, float64(cnt)/float64(n))
+				}
+				prof.Notes = append(prof.Notes,
+					"claim shape: geometric decay — the per-round survival factor matches the constant-progress lemmas (Lemmas 21-23 prove E[|V_t+log n|] ≤ (1-ε/polylog)|V_t|)")
+			}
+			return append(tables, prof)
+		},
+	}
+}

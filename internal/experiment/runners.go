@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+	"ssmis/internal/stats"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+// Kind selects a process family.
+type Kind int
+
+// Process families.
+const (
+	KindTwoState Kind = iota + 1
+	KindThreeState
+	KindThreeColor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTwoState:
+		return "2-state"
+	case KindThreeState:
+		return "3-state"
+	case KindThreeColor:
+		return "3-color"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// newProcess instantiates a process of the given kind.
+func newProcess(k Kind, g *graph.Graph, opts ...mis.Option) mis.Process {
+	switch k {
+	case KindTwoState:
+		return mis.NewTwoState(g, opts...)
+	case KindThreeState:
+		return mis.NewThreeState(g, opts...)
+	case KindThreeColor:
+		return mis.NewThreeColor(g, opts...)
+	default:
+		panic(fmt.Sprintf("experiment: unknown kind %v", k))
+	}
+}
+
+// measurement is a stabilization-time sample set plus bookkeeping.
+type measurement struct {
+	rounds    []float64
+	bits      []float64
+	failures  int // runs that hit the round cap
+	misBroken int // stabilized runs whose black set is not an MIS (must be 0)
+	trials    int
+}
+
+// summary of the round samples; panics if all trials failed.
+func (m *measurement) summary() stats.Summary { return stats.Summarize(m.rounds) }
+
+// runTrials measures the stabilization time of `kind` over `trials` runs on
+// graphs produced by gen (called once per trial with a per-trial seed so
+// random graph families resample each time). Trials are independent and run
+// on a worker pool sized to the machine; results are deterministic
+// regardless of scheduling because every trial derives from its own seed.
+func runTrials(kind Kind, gen func(seed uint64) *graph.Graph, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *measurement {
+	type outcome struct {
+		rounds    float64
+		bits      float64
+		failed    bool
+		misBroken bool
+	}
+	master := xrand.New(masterSeed)
+	outcomes := make([]outcome, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				trialSeed := master.Split(uint64(t)).Uint64()
+				g := gen(trialSeed)
+				limit := roundCap
+				if limit <= 0 {
+					limit = mis.DefaultRoundCap(g.N())
+				}
+				p := newProcess(kind, g, append([]mis.Option{mis.WithSeed(trialSeed)}, opts...)...)
+				res := mis.Run(p, limit)
+				switch {
+				case !res.Stabilized:
+					outcomes[t].failed = true
+				case verify.MIS(g, p.Black) != nil:
+					outcomes[t].misBroken = true
+				default:
+					outcomes[t] = outcome{rounds: float64(res.Rounds), bits: float64(res.RandomBits)}
+				}
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	m := &measurement{trials: trials}
+	for _, o := range outcomes {
+		switch {
+		case o.failed:
+			m.failures++
+		case o.misBroken:
+			m.misBroken++
+		default:
+			m.rounds = append(m.rounds, o.rounds)
+			m.bits = append(m.bits, o.bits)
+		}
+	}
+	return m
+}
+
+// fixedGraph adapts a pre-built graph to the gen signature.
+func fixedGraph(g *graph.Graph) func(uint64) *graph.Graph {
+	return func(uint64) *graph.Graph { return g }
+}
+
+// scalingRow formats the standard scaling columns for a measurement at size n.
+func scalingRow(t *Table, n int, m *measurement) {
+	if len(m.rounds) == 0 {
+		t.AddRow(n, "-", "-", "-", "-", "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
+		return
+	}
+	s := m.summary()
+	ln := math.Log(float64(n))
+	status := "ok"
+	if m.failures > 0 {
+		status = fmt.Sprintf("%d/%d capped", m.failures, m.trials)
+	}
+	if m.misBroken > 0 {
+		status = fmt.Sprintf("%d NON-MIS", m.misBroken)
+	}
+	t.AddRow(n, s.Mean, s.MeanCI95(), s.Median, s.Max, s.Mean/ln, s.Max/(ln*ln), status)
+}
+
+// scalingColumns is the header matching scalingRow.
+func scalingColumns() []string {
+	return []string{"n", "mean", "±95%", "median", "max", "mean/ln n", "max/ln² n", "status"}
+}
+
+// polylogNote fits T ≈ c·ln^k n to the per-size means and renders the claim
+// check note.
+func polylogNote(ns []int, means []float64) string {
+	if len(ns) < 2 {
+		return "too few sizes for a fit"
+	}
+	fn := make([]float64, len(ns))
+	for i, n := range ns {
+		fn[i] = float64(n)
+	}
+	c, k, r2 := stats.PolylogFit(fn, means)
+	_, kPow, _ := stats.PowerFit(fn, means)
+	return fmt.Sprintf("polylog fit: T ≈ %.2f·ln^%.2f(n) (R²=%.3f); power-law exponent if forced: n^%.3f",
+		c, k, r2, kPow)
+}

@@ -1,0 +1,168 @@
+// Package fault implements the state-corruption adversaries used by the
+// self-stabilization experiments (E11): a stabilized process is attacked by
+// overwriting vertex states mid-run, and the experiment measures the time to
+// re-stabilize. Because the paper's processes are memoryless beyond their
+// constant per-vertex state, any corruption is equivalent to a fresh
+// adversarial initialization of the affected region — which is exactly what
+// self-stabilization promises to absorb.
+package fault
+
+import (
+	"fmt"
+
+	"ssmis/internal/mis"
+	"ssmis/internal/xrand"
+)
+
+// Adversary selects vertices to corrupt and the corrupting state.
+type Adversary int
+
+// Corruption adversaries.
+const (
+	// FlipRandom flips the color of k uniformly random vertices.
+	FlipRandom Adversary = iota + 1
+	// BlackWave sets k consecutive vertex ids to black — a correlated
+	// regional fault (e.g. a rebooted rack all coming up in the same state).
+	BlackWave
+	// WhiteWash sets k consecutive vertex ids to white, erasing part of the
+	// MIS.
+	WhiteWash
+	// TargetMIS flips exactly the current MIS vertices among the first k —
+	// the strongest attack, destroying the certificate itself.
+	TargetMIS
+)
+
+func (a Adversary) String() string {
+	switch a {
+	case FlipRandom:
+		return "flip-random"
+	case BlackWave:
+		return "black-wave"
+	case WhiteWash:
+		return "white-wash"
+	case TargetMIS:
+		return "target-mis"
+	default:
+		return fmt.Sprintf("Adversary(%d)", int(a))
+	}
+}
+
+// AllAdversaries lists every corruption adversary.
+func AllAdversaries() []Adversary {
+	return []Adversary{FlipRandom, BlackWave, WhiteWash, TargetMIS}
+}
+
+// Corruptible is the mutation interface the simulator processes implement
+// (TwoState, ThreeState and ThreeColor all satisfy it via small adapters
+// below).
+type Corruptible interface {
+	mis.Process
+	// CorruptColor overwrites the color projection of u: black or not.
+	CorruptColor(u int, black bool)
+}
+
+// twoStateAdapter adapts *mis.TwoState.
+type twoStateAdapter struct{ *mis.TwoState }
+
+func (a twoStateAdapter) CorruptColor(u int, black bool) { a.Corrupt(u, black) }
+
+// threeStateAdapter adapts *mis.ThreeState.
+type threeStateAdapter struct{ *mis.ThreeState }
+
+func (a threeStateAdapter) CorruptColor(u int, black bool) {
+	if black {
+		a.Corrupt(u, mis.TriBlack1)
+	} else {
+		a.Corrupt(u, mis.TriWhite)
+	}
+}
+
+// threeColorAdapter adapts *mis.ThreeColor; corrupted vertices also get
+// their switch level reset to the worst case (top, i.e. longest off run).
+type threeColorAdapter struct{ *mis.ThreeColor }
+
+func (a threeColorAdapter) CorruptColor(u int, black bool) {
+	if black {
+		a.Corrupt(u, mis.ColorBlack, 5)
+	} else {
+		a.Corrupt(u, mis.ColorWhite, 5)
+	}
+}
+
+// Wrap adapts a simulator process to Corruptible. It panics on unknown
+// process types.
+func Wrap(p mis.Process) Corruptible {
+	switch t := p.(type) {
+	case *mis.TwoState:
+		return twoStateAdapter{t}
+	case *mis.ThreeState:
+		return threeStateAdapter{t}
+	case *mis.ThreeColor:
+		return threeColorAdapter{t}
+	default:
+		panic(fmt.Sprintf("fault: cannot corrupt process type %T", p))
+	}
+}
+
+// Inject applies the adversary to k vertices of p.
+func Inject(p Corruptible, adv Adversary, k int, rng *xrand.Rand) {
+	n := p.N()
+	if k > n {
+		k = n
+	}
+	switch adv {
+	case FlipRandom:
+		for i := 0; i < k; i++ {
+			u := rng.Intn(n)
+			p.CorruptColor(u, !p.Black(u))
+		}
+	case BlackWave:
+		start := 0
+		if n > k {
+			start = rng.Intn(n - k)
+		}
+		for u := start; u < start+k; u++ {
+			p.CorruptColor(u, true)
+		}
+	case WhiteWash:
+		start := 0
+		if n > k {
+			start = rng.Intn(n - k)
+		}
+		for u := start; u < start+k; u++ {
+			p.CorruptColor(u, false)
+		}
+	case TargetMIS:
+		flipped := 0
+		for u := 0; u < n && flipped < k; u++ {
+			if p.Black(u) {
+				p.CorruptColor(u, false)
+				flipped++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("fault: unknown adversary %v", adv))
+	}
+}
+
+// RecoveryResult reports one corruption/recovery episode.
+type RecoveryResult struct {
+	Adversary      Adversary
+	Corrupted      int
+	RecoveryRounds int
+	Recovered      bool
+}
+
+// Attack corrupts a stabilized process with the adversary and measures the
+// rounds until it stabilizes again (bounded by maxRounds).
+func Attack(p Corruptible, adv Adversary, k int, rng *xrand.Rand, maxRounds int) RecoveryResult {
+	Inject(p, adv, k, rng)
+	start := p.Round()
+	res := mis.Run(p, start+maxRounds)
+	return RecoveryResult{
+		Adversary:      adv,
+		Corrupted:      k,
+		RecoveryRounds: res.Rounds - start,
+		Recovered:      res.Stabilized,
+	}
+}

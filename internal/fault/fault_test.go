@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+func stabilized(t *testing.T, p mis.Process, g *graph.Graph) Corruptible {
+	t.Helper()
+	mis.Run(p, 10*mis.DefaultRoundCap(g.N()))
+	if !p.Stabilized() {
+		t.Fatal("process did not stabilize before attack")
+	}
+	return Wrap(p)
+}
+
+func TestAllAdversariesAllProcessesRecover(t *testing.T) {
+	rng := xrand.New(1)
+	g := graph.Gnp(120, 0.06, rng)
+	makeProcs := func() []mis.Process {
+		return []mis.Process{
+			mis.NewTwoState(g, mis.WithSeed(3)),
+			mis.NewThreeState(g, mis.WithSeed(3)),
+			mis.NewThreeColor(g, mis.WithSeed(3)),
+		}
+	}
+	for _, adv := range AllAdversaries() {
+		for _, p := range makeProcs() {
+			c := stabilized(t, p, g)
+			res := Attack(c, adv, 25, rng, 20*mis.DefaultRoundCap(g.N()))
+			if !res.Recovered {
+				t.Errorf("%s under %v: did not recover", p.Name(), adv)
+				continue
+			}
+			if err := verify.MIS(g, c.Black); err != nil {
+				t.Errorf("%s under %v: recovered to non-MIS: %v", p.Name(), adv, err)
+			}
+		}
+	}
+}
+
+func TestTargetMISDestroysCertificate(t *testing.T) {
+	g := graph.Cycle(30)
+	p := mis.NewTwoState(g, mis.WithSeed(5))
+	c := stabilized(t, p, g)
+	// Flipping every MIS vertex among the first k must leave the process
+	// unstabilized immediately after injection.
+	Inject(c, TargetMIS, g.N(), xrand.New(2))
+	if c.Stabilized() {
+		t.Fatal("TargetMIS attack left the process stabilized")
+	}
+	mis.Run(c, 10*mis.DefaultRoundCap(g.N()))
+	if err := verify.MIS(g, c.Black); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryFasterThanFreshForLocalFault(t *testing.T) {
+	// A single flipped vertex should typically recover much faster than a
+	// full restart. Statistical: compare means over trials.
+	g := graph.Gnp(200, 0.04, xrand.New(3))
+	const trials = 20
+	sumRecover, sumFresh := 0, 0
+	for s := uint64(0); s < trials; s++ {
+		p := mis.NewTwoState(g, mis.WithSeed(s))
+		res := mis.Run(p, 10*mis.DefaultRoundCap(g.N()))
+		if !res.Stabilized {
+			t.Fatal("fresh run did not stabilize")
+		}
+		sumFresh += res.Rounds
+		c := Wrap(p)
+		rec := Attack(c, FlipRandom, 1, xrand.New(s), 10*mis.DefaultRoundCap(g.N()))
+		if !rec.Recovered {
+			t.Fatal("single-fault recovery failed")
+		}
+		sumRecover += rec.RecoveryRounds
+	}
+	if sumRecover >= sumFresh {
+		t.Fatalf("mean single-fault recovery (%d total) not faster than fresh stabilization (%d total)",
+			sumRecover, sumFresh)
+	}
+}
+
+func TestInjectCounts(t *testing.T) {
+	g := graph.Empty(10) // no edges: corruption is visible directly
+	p := mis.NewTwoState(g, mis.WithSeed(1))
+	mis.Run(p, 100)
+	c := Wrap(p)
+	// All isolated vertices are black at stabilization; WhiteWash makes a
+	// run of them white.
+	Inject(c, WhiteWash, 4, xrand.New(4))
+	whites := 0
+	for u := 0; u < g.N(); u++ {
+		if !c.Black(u) {
+			whites++
+		}
+	}
+	if whites != 4 {
+		t.Fatalf("WhiteWash(4) left %d white vertices", whites)
+	}
+	// BlackWave on all vertices.
+	Inject(c, BlackWave, 100, xrand.New(5))
+	for u := 0; u < g.N(); u++ {
+		if !c.Black(u) {
+			t.Fatal("BlackWave(all) left a white vertex")
+		}
+	}
+}
+
+func TestWrapUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown type")
+		}
+	}()
+	Wrap(nil)
+}
+
+func TestAdversaryString(t *testing.T) {
+	for _, a := range AllAdversaries() {
+		if a.String() == "" {
+			t.Fatal("empty adversary name")
+		}
+	}
+	if Adversary(99).String() != "Adversary(99)" {
+		t.Fatal("unknown adversary string")
+	}
+}
+
+func TestThreeColorCorruptionResetsSwitch(t *testing.T) {
+	g := graph.Path(4)
+	p := mis.NewThreeColor(g, mis.WithSeed(7))
+	mis.Run(p, 10000)
+	c := Wrap(p)
+	c.CorruptColor(1, true)
+	if p.SwitchLevel(1) != 5 {
+		t.Fatalf("corrupted vertex switch level %d, want 5 (worst case)", p.SwitchLevel(1))
+	}
+}

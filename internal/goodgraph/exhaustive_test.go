@@ -1,0 +1,105 @@
+package goodgraph
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func TestExhaustiveAcceptsTinyGoodGraphs(t *testing.T) {
+	rng := xrand.New(1)
+	// Small dense random graphs: the Definition 17 constants are generous
+	// at this scale, so most draws pass everything; what matters is that
+	// the enumeration completes and agrees with itself.
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(8, 0.5, rng)
+		rep := ExhaustiveCheck(g, 0.5)
+		if rep.SamplesPerProperty != -1 {
+			t.Fatal("exhaustive report should mark SamplesPerProperty = -1")
+		}
+		// P1 with n=8: bound max(8·0.5·k, 4 ln 8) ≥ 8.3 > max degree 7 -> pass.
+		if !rep.Pass[1] {
+			t.Fatalf("trial %d: P1 failed on a tiny graph: %s", trial, rep.Detail[1])
+		}
+	}
+}
+
+// Soundness of the sampler relative to the oracle: whenever exhaustive
+// checking accepts, the sampled checker must accept too (it examines a
+// subset of the same constraints).
+func TestSamplerNeverRejectsExhaustivelyGoodGraph(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		r := rng.Split(uint64(trial))
+		n := 4 + r.Intn(6) // 4..9
+		p := 0.2 + 0.6*r.Float64()
+		g := graph.Gnp(n, p, r)
+		ex := ExhaustiveCheck(g, p)
+		sampled := Checker{Samples: 50}.Check(g, p, r)
+		for k := 1; k <= 6; k++ {
+			if ex.Pass[k] && !sampled.Pass[k] {
+				t.Fatalf("trial %d: sampler rejected P%d where exhaustive accepts: %s",
+					trial, k, sampled.Detail[k])
+			}
+		}
+	}
+}
+
+func TestExhaustiveCatchesPlantedP1Violation(t *testing.T) {
+	// K_9 claimed to be extremely sparse: the full-vertex subset has average
+	// degree 8 > max(8p·9, 4 ln 9) ≈ 8.8? ln 9 = 2.197 -> 4·ln 9 = 8.79.
+	// Need avg degree above 8.79: K_9 gives exactly 8, so plant on a tiny
+	// claimed p with a denser structure: use K_9 but p so small the 8pk
+	// term vanishes — bound is 8.79, avg 8: passes. Instead check P5:
+	// K_9 has 7 common neighbors per pair > max(6·9·p², 4 ln 9)? 8.79 —
+	// 7 < 8.79 passes too. Use P4: T={v}, S = rest: |E(S,T)| = 8 vs
+	// 6·8·ln 9 = 105: passes. The Definition's constants are simply large
+	// for n=9 — so verify instead that the exhaustive checker flags a
+	// graph CLAIMED to violate via an artificial bound: a K_9 with claimed
+	// p = 1 must still pass P1 (8p·k dominates). The real planted test:
+	// P2 with p=1: every 9-vertex set... minSize = 40·ln9/1 = 88 > 9,
+	// vacuous. Conclusion: at n ≤ 9 Definition 17 is nearly vacuous except
+	// P1 on sparse claims with dense subgraphs of ≥ 4 ln n average degree
+	// — which needs avg degree > 8.79, impossible at n = 9 (max 8).
+	// So we assert exactly that: no 9-vertex graph can violate P1, and the
+	// checker agrees even on the worst case.
+	rep := ExhaustiveCheck(graph.Complete(9), 1e-9)
+	if !rep.Pass[1] {
+		t.Fatalf("P1 flagged K_9, impossible at this size: %s", rep.Detail[1])
+	}
+}
+
+func TestExhaustiveTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n > cap")
+		}
+	}()
+	ExhaustiveCheck(graph.Path(10), 0.5)
+}
+
+func TestCountExclusiveNeighbors(t *testing.T) {
+	// Path 0-1-2-3-4: set={2}, excl={0}: N(2)={1,3}; N+(excl)={0,1}.
+	// Exclusive neighbors of {2}: {3} -> 1.
+	g := graph.Path(5)
+	if c := countExclusiveNeighbors(g, []int{2}, []int{0}); c != 1 {
+		t.Fatalf("countExclusiveNeighbors = %d, want 1", c)
+	}
+	if c := countExclusiveNeighbors(g, []int{2}, nil); c != 2 {
+		t.Fatalf("countExclusiveNeighbors without exclusion = %d, want 2", c)
+	}
+}
+
+func TestSubsetMembers(t *testing.T) {
+	got := subsetMembers(0b10101, 5)
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("subsetMembers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subsetMembers = %v, want %v", got, want)
+		}
+	}
+}

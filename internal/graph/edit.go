@@ -1,0 +1,82 @@
+package graph
+
+// Topology-editing helpers. Graphs are immutable, so edits produce new
+// graphs; the MIS processes can be rebound to an edited graph while keeping
+// their vertex states (see mis.TwoState.Rebind), which models topology
+// churn in a self-stabilizing network: links appear and disappear, nodes
+// keep whatever state they had, and the process must re-converge.
+
+import (
+	"fmt"
+
+	"ssmis/internal/xrand"
+)
+
+// WithEdgeToggled returns a copy of g with edge {u,v} added if absent or
+// removed if present. It panics on self-loops or out-of-range endpoints.
+func (g *Graph) WithEdgeToggled(u, v int) *Graph {
+	if u == v {
+		panic(fmt.Sprintf("graph: toggle self-loop at %d", u))
+	}
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		panic(fmt.Sprintf("graph: toggle edge {%d,%d} out of range", u, v))
+	}
+	remove := g.HasEdge(u, v)
+	if u > v {
+		u, v = v, u
+	}
+	b := NewBuilder(g.N())
+	g.Edges(func(x, y int) {
+		if remove && x == u && y == v {
+			return
+		}
+		b.AddEdge(x, y)
+	})
+	if !remove {
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// WithRandomChurn returns a copy of g with k edge toggles applied at
+// uniformly random vertex pairs (self-pairs are re-drawn): existing edges
+// among the chosen pairs disappear, missing ones appear. It also returns
+// the list of toggled pairs.
+func (g *Graph) WithRandomChurn(k int, rng *xrand.Rand) (*Graph, [][2]int) {
+	n := g.N()
+	if n < 2 || k <= 0 {
+		return g, nil
+	}
+	// Collect the toggle set first (deduplicating pairs so a double toggle
+	// doesn't silently cancel), then rebuild once.
+	type pair struct{ u, v int32 }
+	toggles := make(map[pair]bool, k)
+	var order [][2]int
+	for len(toggles) < k {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{int32(u), int32(v)}
+		if toggles[p] {
+			continue
+		}
+		toggles[p] = true
+		order = append(order, [2]int{u, v})
+	}
+	b := NewBuilder(n)
+	g.Edges(func(x, y int) {
+		if !toggles[pair{int32(x), int32(y)}] {
+			b.AddEdge(x, y)
+		}
+	})
+	for p := range toggles {
+		if !g.HasEdge(int(p.u), int(p.v)) {
+			b.AddEdge(int(p.u), int(p.v))
+		}
+	}
+	return b.Build(), order
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"testing"
+
+	"ssmis/internal/xrand"
+)
+
+func TestWithEdgeToggledAddAndRemove(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	added := g.WithEdgeToggled(0, 3)
+	if !added.HasEdge(0, 3) || added.M() != g.M()+1 {
+		t.Fatal("edge not added")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("original mutated")
+	}
+	removed := added.WithEdgeToggled(3, 0) // order-insensitive
+	if removed.HasEdge(0, 3) || removed.M() != g.M() {
+		t.Fatal("edge not removed")
+	}
+	inner := g.WithEdgeToggled(1, 2)
+	if inner.HasEdge(1, 2) || inner.M() != 2 {
+		t.Fatal("existing edge not removed")
+	}
+}
+
+func TestWithEdgeToggledPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self-loop":    func() { Path(3).WithEdgeToggled(1, 1) },
+		"out-of-range": func() { Path(3).WithEdgeToggled(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWithRandomChurn(t *testing.T) {
+	rng := xrand.New(1)
+	g := Gnp(60, 0.1, rng)
+	const k = 15
+	g2, toggles := g.WithRandomChurn(k, rng)
+	if len(toggles) != k {
+		t.Fatalf("%d toggles, want %d", len(toggles), k)
+	}
+	// Every toggled pair must have flipped; all other pairs unchanged.
+	flipped := make(map[[2]int]bool, k)
+	for _, p := range toggles {
+		flipped[p] = true
+		if g.HasEdge(p[0], p[1]) == g2.HasEdge(p[0], p[1]) {
+			t.Fatalf("pair %v did not flip", p)
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if flipped[[2]int{u, v}] {
+				continue
+			}
+			if g.HasEdge(u, v) != g2.HasEdge(u, v) {
+				t.Fatalf("untouched pair {%d,%d} changed", u, v)
+			}
+		}
+	}
+}
+
+func TestWithRandomChurnDegenerate(t *testing.T) {
+	rng := xrand.New(2)
+	g := Path(1)
+	g2, toggles := g.WithRandomChurn(5, rng)
+	if g2 != g || toggles != nil {
+		t.Fatal("churn on a single vertex should be a no-op")
+	}
+	g3, toggles3 := Path(5).WithRandomChurn(0, rng)
+	if toggles3 != nil || g3.M() != 4 {
+		t.Fatal("zero churn should be a no-op")
+	}
+}

@@ -1,0 +1,288 @@
+package graph
+
+// This file implements structural metrics used by the experiments and by the
+// (n,p)-good-graph checker: BFS distances, connected components, exact
+// diameter, degeneracy (which sandwiches arboricity: arboricity <= degeneracy
+// <= 2*arboricity - 1), and common-neighbor statistics (property P5).
+
+// BFS returns the distance from src to every vertex (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns a component id per vertex and the number of
+// components. Ids are assigned in order of discovery from vertex 0.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for src := 0; src < g.N(); src++ {
+		if comp[src] != -1 {
+			continue
+		}
+		comp[src] = count
+		queue = append(queue[:0], int32(src))
+		for len(queue) > 0 {
+			u := int(queue[0])
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	_, c := g.ConnectedComponents()
+	return c <= 1
+}
+
+// Diameter returns the exact diameter via all-pairs BFS, or -1 if the graph
+// is disconnected or empty. O(n·m); intended for experiment-scale graphs.
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		dist := g.BFS(u)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// DiameterAtMostTwo reports whether every pair of distinct vertices is
+// adjacent or has a common neighbor (property P6 of good graphs). It runs in
+// O(n·Δ²/64) via per-vertex neighborhood bitmaps, much faster than full BFS
+// for the dense graphs where it is true.
+func (g *Graph) DiameterAtMostTwo() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	// mark[v] is true when v is u, a neighbor of u, or a neighbor of a
+	// neighbor of u.
+	mark := make([]int32, n) // stamp per source, avoids clearing
+	for i := range mark {
+		mark[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		stamp := int32(u)
+		mark[u] = stamp
+		for _, v := range g.Neighbors(u) {
+			mark[v] = stamp
+			for _, w := range g.Neighbors(int(v)) {
+				mark[w] = stamp
+			}
+		}
+		for v := 0; v < n; v++ {
+			if mark[v] != stamp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DegeneracyOrdering returns the degeneracy d of the graph and an elimination
+// ordering in which every vertex has at most d neighbors appearing later.
+// Uses the linear-time bucket-queue peeling algorithm.
+func (g *Graph) DegeneracyOrdering() (degeneracy int, order []int) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket queue over current degrees.
+	buckets := make([][]int32, maxDeg+1)
+	for u := 0; u < n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], int32(u))
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		// The minimum degree can drop by at most 1 per removal; rewind one
+		// step then scan forward.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		// Pop a vertex whose recorded bucket is still accurate.
+		bucket := buckets[cur]
+		u := int(bucket[len(bucket)-1])
+		buckets[cur] = bucket[:len(bucket)-1]
+		if removed[u] || deg[u] != cur {
+			continue // stale entry
+		}
+		removed[u] = true
+		order = append(order, u)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, v := range g.Neighbors(u) {
+			if !removed[v] {
+				deg[v]--
+				buckets[deg[v]] = append(buckets[deg[v]], v)
+			}
+		}
+	}
+	return degeneracy, order
+}
+
+// Degeneracy returns only the degeneracy number.
+func (g *Graph) Degeneracy() int {
+	d, _ := g.DegeneracyOrdering()
+	return d
+}
+
+// ArboricityBounds returns lower and upper bounds on the arboricity using the
+// degeneracy d: ceil((d+1)/2) <= arboricity <= d.
+func (g *Graph) ArboricityBounds() (lo, hi int) {
+	d := g.Degeneracy()
+	if d == 0 {
+		return 0, 0
+	}
+	return (d + 2) / 2, d
+}
+
+// CommonNeighbors returns |N(u) ∩ N(v)| by merging the two sorted lists.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// MaxCommonNeighbors returns max over all vertex pairs of |N(u) ∩ N(v)|
+// (property P5 of good graphs). It counts, for every vertex w, the pairs of
+// neighbors of w, in O(Σ_w deg(w)²) time — exact, intended for n up to a few
+// thousand at G(n,p) densities. Pairs at distance > 2 trivially share no
+// neighbors and are never enumerated.
+func (g *Graph) MaxCommonNeighbors() int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	// counts[pair] via stamped per-source accumulation: for each u, count
+	// two-hop multiplicity to every v > u.
+	cnt := make([]int, n)
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	best := 0
+	for u := 0; u < n; u++ {
+		su := int32(u)
+		for _, w := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(int(w)) {
+				if int(v) <= u {
+					continue
+				}
+				if stamp[v] != su {
+					stamp[v] = su
+					cnt[v] = 0
+				}
+				cnt[v]++
+				if cnt[v] > best {
+					best = cnt[v]
+				}
+			}
+		}
+	}
+	return best
+}
+
+// NeighborhoodClosure computes N+(S) = S ∪ N(S) and returns it as a boolean
+// mask over the vertices.
+func (g *Graph) NeighborhoodClosure(s []int) []bool {
+	mask := make([]bool, g.N())
+	for _, u := range s {
+		mask[u] = true
+		for _, v := range g.Neighbors(u) {
+			mask[v] = true
+		}
+	}
+	return mask
+}
+
+// EdgesBetween returns |E(S, T)| for vertex sets given as boolean masks; an
+// edge with both endpoints in S ∩ T is counted once.
+func (g *Graph) EdgesBetween(s, t []bool) int {
+	c := 0
+	g.Edges(func(u, v int) {
+		if (s[u] && t[v]) || (s[v] && t[u]) {
+			c++
+		}
+	})
+	return c
+}
+
+// AvgDegreeOfSubset returns the average degree of the induced subgraph G[S]
+// where S is given as a vertex list: 2|E(S)|/|S| (0 for empty S).
+func (g *Graph) AvgDegreeOfSubset(s []int) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(s))
+	for _, u := range s {
+		in[u] = true
+	}
+	edges := 0
+	for _, u := range s {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && in[int(v)] {
+				edges++
+			}
+		}
+	}
+	return 2 * float64(edges) / float64(len(s))
+}

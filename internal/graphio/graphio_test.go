@@ -1,0 +1,145 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	same := true
+	a.Edges(func(u, v int) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	return same
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := graph.Gnp(100, 0.05, xrand.New(1))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, got) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := graph.Gnp(80, 0.08, xrand.New(2))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, got) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\nn 4\n0 1\n# another\n2 3\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "0 1\n",
+		"missing header":   "",
+		"double header":    "n 3\nn 3\n",
+		"bad count":        "n x\n",
+		"malformed header": "n 3 4\n",
+		"self-loop":        "n 3\n1 1\n",
+		"out of range":     "n 3\n0 3\n",
+		"negative":         "n 3\n-1 0\n",
+		"non-integer":      "n 3\na b\n",
+		"triple edge":      "n 3\n0 1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"negative n":   `{"n": -1, "edges": []}`,
+		"self-loop":    `{"n": 3, "edges": [[1,1]]}`,
+		"out of range": `{"n": 3, "edges": [[0,5]]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestEmptyGraphRoundTrips(t *testing.T) {
+	g := graph.Empty(5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 5 || got.M() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.N() != 5 || got2.M() != 0 {
+		t.Fatal("empty JSON round trip failed")
+	}
+}
+
+// Property: both formats round-trip arbitrary random graphs.
+func TestRoundTripProperty(t *testing.T) {
+	master := xrand.New(3)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 1 + r.Intn(60)
+		g := graph.Gnp(n, r.Float64()*0.4, r)
+		var b1, b2 bytes.Buffer
+		if WriteEdgeList(&b1, g) != nil || WriteJSON(&b2, g) != nil {
+			return false
+		}
+		g1, err1 := ReadEdgeList(&b1)
+		g2, err2 := ReadJSON(&b2)
+		return err1 == nil && err2 == nil && sameGraph(g, g1) && sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

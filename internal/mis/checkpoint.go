@@ -1,0 +1,295 @@
+package mis
+
+// Checkpointing: a running process can be serialized to a JSON-friendly
+// snapshot and restored later to continue the exact same execution —
+// states, derived counters, round/bit accounting, and every per-vertex
+// random stream (so the coins after restore equal the coins an
+// uninterrupted run would have drawn). Long sweeps can thus survive
+// restarts, and executions can be shipped between machines for debugging.
+//
+// The graph itself is not embedded (graphs can be large and are
+// reconstructible from their own seeds or interchange files); Restore
+// functions take the graph and verify its order.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/phaseclock"
+	"ssmis/internal/xrand"
+)
+
+// newRestoredClock rebuilds the 3-color switch from checkpointed levels.
+func newRestoredClock(g *graph.Graph, c *Checkpoint) *phaseclock.Clock {
+	cl := phaseclock.New(g, phaseclock.WithZetaLog2(c.ZetaLog2))
+	for u, l := range c.Levels {
+		cl.SetLevel(u, l)
+	}
+	cl.SetRandomBits(c.ClockBits)
+	return cl
+}
+
+// Checkpoint is a serialized process execution state.
+type Checkpoint struct {
+	// Process identifies the family: "2-state", "3-state", "3-color".
+	Process string `json:"process"`
+	// N is the graph order the snapshot was taken on.
+	N     int   `json:"n"`
+	Round int   `json:"round"`
+	Bits  int64 `json:"bits"`
+	// States holds the per-vertex state: for 2-state 0=white/1=black; for
+	// 3-state the TriState values; for 3-color the Color values.
+	States []uint8 `json:"states"`
+	// Levels holds the 3-color switch levels (empty otherwise).
+	Levels []uint8 `json:"levels,omitempty"`
+	// ClockBits is the 3-color switch's separate bit accounting.
+	ClockBits int64 `json:"clockBits,omitempty"`
+	// Rngs holds each vertex's marshaled random stream.
+	Rngs [][]byte `json:"rngs"`
+	// BlackBias and ZetaLog2 reproduce the options that shape randomness.
+	BlackBias float64 `json:"blackBias"`
+	ZetaLog2  uint    `json:"zetaLog2,omitempty"`
+}
+
+// Encode renders the checkpoint as JSON.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// DecodeCheckpoint parses a JSON checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("mis: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+func marshalRngs(rngs []*xrand.Rand) ([][]byte, error) {
+	out := make([][]byte, len(rngs))
+	for i, r := range rngs {
+		b, err := r.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("mis: marshal rng %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func unmarshalRngs(blobs [][]byte, n int) ([]*xrand.Rand, error) {
+	if len(blobs) != n {
+		return nil, fmt.Errorf("mis: checkpoint has %d rng states, want %d", len(blobs), n)
+	}
+	out := make([]*xrand.Rand, n)
+	for i, b := range blobs {
+		r := xrand.New(0)
+		if err := r.UnmarshalBinary(b); err != nil {
+			return nil, fmt.Errorf("mis: rng %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Checkpoint snapshots the 2-state process.
+func (p *TwoState) Checkpoint() (*Checkpoint, error) {
+	states := make([]uint8, len(p.black))
+	for u, b := range p.black {
+		if b {
+			states[u] = 1
+		}
+	}
+	rngs, err := marshalRngs(p.rngs)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Process:   "2-state",
+		N:         p.g.N(),
+		Round:     p.round,
+		Bits:      p.bits,
+		States:    states,
+		Rngs:      rngs,
+		BlackBias: p.opts.blackBias,
+	}, nil
+}
+
+// RestoreTwoState reconstructs a 2-state process from a checkpoint on g.
+// Extra options (e.g. WithWorkers, WithLocalTimes) may be supplied; options
+// affecting randomness are taken from the checkpoint.
+func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, error) {
+	if c.Process != "2-state" {
+		return nil, fmt.Errorf("mis: checkpoint is %q, want 2-state", c.Process)
+	}
+	if c.N != g.N() || len(c.States) != g.N() {
+		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, g.N())
+	}
+	rngs, err := unmarshalRngs(c.Rngs, g.N())
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	o.blackBias = c.BlackBias
+	n := g.N()
+	p := &TwoState{
+		g:        g,
+		complete: n >= 2 && g.M() == n*(n-1)/2,
+		black:    make([]bool, n),
+		nbrBlack: make([]int32, n),
+		rngs:     rngs,
+		opts:     o,
+		round:    c.Round,
+		bits:     c.Bits,
+	}
+	for u, s := range c.States {
+		p.black[u] = s == 1
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p, nil
+}
+
+// Checkpoint snapshots the 3-state process.
+func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
+	states := make([]uint8, len(p.state))
+	for u, s := range p.state {
+		states[u] = uint8(s)
+	}
+	rngs, err := marshalRngs(p.rngs)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Process: "3-state",
+		N:       p.g.N(),
+		Round:   p.round,
+		Bits:    p.bits,
+		States:  states,
+		Rngs:    rngs,
+	}, nil
+}
+
+// RestoreThreeState reconstructs a 3-state process from a checkpoint on g.
+func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeState, error) {
+	if c.Process != "3-state" {
+		return nil, fmt.Errorf("mis: checkpoint is %q, want 3-state", c.Process)
+	}
+	if c.N != g.N() || len(c.States) != g.N() {
+		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, g.N())
+	}
+	rngs, err := unmarshalRngs(c.Rngs, g.N())
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	n := g.N()
+	p := &ThreeState{
+		g:        g,
+		state:    make([]TriState, n),
+		next:     make([]TriState, n),
+		nbrB1:    make([]int32, n),
+		nbrBlack: make([]int32, n),
+		rngs:     rngs,
+		round:    c.Round,
+		bits:     c.Bits,
+		mark:     make([]int32, n),
+	}
+	for u, s := range c.States {
+		st := TriState(s)
+		switch st {
+		case TriWhite, TriBlack0, TriBlack1:
+			p.state[u] = st
+		default:
+			return nil, fmt.Errorf("mis: invalid 3-state value %d at vertex %d", s, u)
+		}
+	}
+	for i := range p.mark {
+		p.mark[i] = -1
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p, nil
+}
+
+// Checkpoint snapshots the 3-color process, including its switch.
+func (p *ThreeColor) Checkpoint() (*Checkpoint, error) {
+	n := p.g.N()
+	states := make([]uint8, n)
+	levels := make([]uint8, n)
+	for u := 0; u < n; u++ {
+		states[u] = uint8(p.color[u])
+		levels[u] = p.clock.Level(u)
+	}
+	rngs, err := marshalRngs(p.rngs)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Process:   "3-color",
+		N:         n,
+		Round:     p.round,
+		Bits:      p.bits,
+		States:    states,
+		Levels:    levels,
+		ClockBits: p.clock.RandomBits(),
+		Rngs:      rngs,
+		BlackBias: p.opts.blackBias,
+		ZetaLog2:  p.opts.switchZetaLog2,
+	}, nil
+}
+
+// RestoreThreeColor reconstructs a 3-color process from a checkpoint on g.
+func RestoreThreeColor(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeColor, error) {
+	if c.Process != "3-color" {
+		return nil, fmt.Errorf("mis: checkpoint is %q, want 3-color", c.Process)
+	}
+	n := g.N()
+	if c.N != n || len(c.States) != n || len(c.Levels) != n {
+		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, n)
+	}
+	rngs, err := unmarshalRngs(c.Rngs, n)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	o.blackBias = c.BlackBias
+	o.switchZetaLog2 = c.ZetaLog2
+	p := &ThreeColor{
+		g:        g,
+		color:    make([]Color, n),
+		next:     make([]Color, n),
+		nbrBlack: make([]int32, n),
+		clock:    newRestoredClock(g, c),
+		rngs:     rngs,
+		opts:     o,
+		round:    c.Round,
+		bits:     c.Bits,
+		mark:     make([]int32, n),
+	}
+	for u, s := range c.States {
+		col := Color(s)
+		switch col {
+		case ColorWhite, ColorBlack, ColorGray:
+			p.color[u] = col
+		default:
+			return nil, fmt.Errorf("mis: invalid color value %d at vertex %d", s, u)
+		}
+	}
+	for i := range p.mark {
+		p.mark[i] = -1
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p, nil
+}

@@ -1,0 +1,170 @@
+package mis
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// The checkpoint contract: pausing at any round and restoring must continue
+// the EXACT execution an uninterrupted run produces — same colors every
+// subsequent round, same stabilization round, same bit counts.
+func TestCheckpointRoundTripTwoState(t *testing.T) {
+	g := graph.Gnp(100, 0.05, xrand.New(111))
+	full := NewTwoState(g, WithSeed(7))
+	paused := NewTwoState(g, WithSeed(7))
+	const pauseAt = 5
+	for i := 0; i < pauseAt; i++ {
+		full.Step()
+		paused.Step()
+	}
+	cp, err := paused.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTwoState(g, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != pauseAt {
+		t.Fatalf("restored round %d, want %d", restored.Round(), pauseAt)
+	}
+	for i := 0; i < 5000 && !full.Stabilized(); i++ {
+		full.Step()
+		restored.Step()
+		for u := 0; u < g.N(); u++ {
+			if full.Black(u) != restored.Black(u) {
+				t.Fatalf("round %d: restored run diverged at %d", full.Round(), u)
+			}
+		}
+	}
+	if !restored.Stabilized() || full.Round() != restored.Round() {
+		t.Fatal("restored run stabilized differently")
+	}
+	if full.RandomBits() != restored.RandomBits() {
+		t.Fatalf("bit accounting differs: %d vs %d", full.RandomBits(), restored.RandomBits())
+	}
+}
+
+func TestCheckpointRoundTripThreeState(t *testing.T) {
+	g := graph.Gnp(80, 0.08, xrand.New(112))
+	full := NewThreeState(g, WithSeed(9))
+	paused := NewThreeState(g, WithSeed(9))
+	for i := 0; i < 4; i++ {
+		full.Step()
+		paused.Step()
+	}
+	cp, err := paused.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreThreeState(g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		full.Step()
+		restored.Step()
+		for u := 0; u < g.N(); u++ {
+			if full.State(u) != restored.State(u) {
+				t.Fatalf("round %d: diverged at %d", full.Round(), u)
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTripThreeColor(t *testing.T) {
+	g := graph.Gnp(60, 0.15, xrand.New(113))
+	full := NewThreeColor(g, WithSeed(11), WithSwitchZetaLog2(5))
+	paused := NewThreeColor(g, WithSeed(11), WithSwitchZetaLog2(5))
+	for i := 0; i < 7; i++ {
+		full.Step()
+		paused.Step()
+	}
+	cp, err := paused.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreThreeColor(g, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		full.Step()
+		restored.Step()
+		for u := 0; u < g.N(); u++ {
+			if full.ColorOf(u) != restored.ColorOf(u) {
+				t.Fatalf("round %d: colors diverged at %d", full.Round(), u)
+			}
+			if full.SwitchLevel(u) != restored.SwitchLevel(u) {
+				t.Fatalf("round %d: levels diverged at %d", full.Round(), u)
+			}
+		}
+	}
+	if full.RandomBits() != restored.RandomBits() {
+		t.Fatalf("bits differ: %d vs %d", full.RandomBits(), restored.RandomBits())
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	g := graph.Path(5)
+	p := NewTwoState(g, WithSeed(1))
+	cp, _ := p.Checkpoint()
+
+	if _, err := RestoreTwoState(graph.Path(6), cp); err == nil {
+		t.Fatal("order mismatch accepted")
+	}
+	if _, err := RestoreThreeState(g, cp); err == nil {
+		t.Fatal("wrong process kind accepted")
+	}
+	if _, err := DecodeCheckpoint([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	bad := *cp
+	bad.Rngs = bad.Rngs[:2]
+	if _, err := RestoreTwoState(g, &bad); err == nil {
+		t.Fatal("truncated rng list accepted")
+	}
+	p3 := NewThreeState(g, WithSeed(1))
+	cp3, _ := p3.Checkpoint()
+	cp3.States[0] = 99
+	if _, err := RestoreThreeState(g, cp3); err == nil {
+		t.Fatal("invalid state value accepted")
+	}
+}
+
+func TestCheckpointRestoredOptionsPreserved(t *testing.T) {
+	// Black bias travels with the checkpoint (it shapes the coin stream).
+	g := graph.Complete(24)
+	full := NewTwoState(g, WithSeed(3), WithBlackBias(0.3))
+	paused := NewTwoState(g, WithSeed(3), WithBlackBias(0.3))
+	full.Step()
+	paused.Step()
+	cp, _ := paused.Checkpoint()
+	restored, err := RestoreTwoState(g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull := Run(full, 100000)
+	rRest := Run(restored, 100000)
+	if rFull != rRest {
+		t.Fatalf("biased runs diverged after restore: %+v vs %+v", rFull, rRest)
+	}
+}

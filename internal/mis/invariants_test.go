@@ -1,0 +1,192 @@
+package mis
+
+// Internal-invariant property tests: the incremental counters that make the
+// simulator fast (black-neighbor counts, active counts, stabilization
+// flags) must always agree with a from-scratch recomputation, including
+// after mid-run corruption — the classic class of bugs in incremental
+// simulators.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func (p *TwoState) checkCounters(t *testing.T) {
+	t.Helper()
+	blackCnt := 0
+	for u, b := range p.black {
+		if b {
+			blackCnt++
+		}
+		want := int32(0)
+		for _, v := range p.g.Neighbors(u) {
+			if p.black[v] {
+				want++
+			}
+		}
+		if got := p.blackNeighbors(u); got != want {
+			t.Fatalf("round %d: blackNeighbors(%d) = %d, recomputed %d", p.round, u, got, want)
+		}
+	}
+	if blackCnt != p.blackCnt {
+		t.Fatalf("round %d: blackCnt = %d, recomputed %d", p.round, p.blackCnt, blackCnt)
+	}
+	if got := p.countActive(); got != p.activeCnt {
+		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	}
+}
+
+func TestTwoStateCounterIntegrityUnderRunAndCorruption(t *testing.T) {
+	master := xrand.New(61)
+	for trial := 0; trial < 15; trial++ {
+		r := master.Split(uint64(trial))
+		g := graph.Gnp(60, 0.1, r)
+		p := NewTwoState(g, WithSeed(uint64(trial)))
+		p.checkCounters(t)
+		for i := 0; i < 60; i++ {
+			if r.Intn(10) == 0 {
+				p.Corrupt(r.Intn(g.N()), r.Bit())
+			} else {
+				p.Step()
+			}
+			p.checkCounters(t)
+		}
+	}
+}
+
+func (p *ThreeState) checkCounters(t *testing.T) {
+	t.Helper()
+	for u := range p.state {
+		var wantB1, wantB int32
+		for _, v := range p.g.Neighbors(u) {
+			if p.state[v] == TriBlack1 {
+				wantB1++
+			}
+			if p.state[v].Black() {
+				wantB++
+			}
+		}
+		if p.nbrB1[u] != wantB1 || p.nbrBlack[u] != wantB {
+			t.Fatalf("round %d: counters of %d = (%d,%d), recomputed (%d,%d)",
+				p.round, u, p.nbrB1[u], p.nbrBlack[u], wantB1, wantB)
+		}
+	}
+	if got := p.countActive(); got != p.activeCnt {
+		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	}
+}
+
+func TestThreeStateCounterIntegrityUnderRunAndCorruption(t *testing.T) {
+	master := xrand.New(62)
+	for trial := 0; trial < 15; trial++ {
+		r := master.Split(uint64(trial))
+		g := graph.Gnp(60, 0.1, r)
+		p := NewThreeState(g, WithSeed(uint64(trial)))
+		p.checkCounters(t)
+		for i := 0; i < 60; i++ {
+			if r.Intn(10) == 0 {
+				p.Corrupt(r.Intn(g.N()), TriState(1+r.Intn(3)))
+			} else {
+				p.Step()
+			}
+			p.checkCounters(t)
+		}
+	}
+}
+
+func (p *ThreeColor) checkCounters(t *testing.T) {
+	t.Helper()
+	for u := range p.color {
+		var want int32
+		for _, v := range p.g.Neighbors(u) {
+			if p.color[v] == ColorBlack {
+				want++
+			}
+		}
+		if p.nbrBlack[u] != want {
+			t.Fatalf("round %d: nbrBlack(%d) = %d, recomputed %d", p.round, u, p.nbrBlack[u], want)
+		}
+	}
+	if got := p.countActive(); got != p.activeCnt {
+		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	}
+}
+
+func TestThreeColorCounterIntegrityUnderRunAndCorruption(t *testing.T) {
+	master := xrand.New(63)
+	for trial := 0; trial < 15; trial++ {
+		r := master.Split(uint64(trial))
+		g := graph.Gnp(60, 0.1, r)
+		p := NewThreeColor(g, WithSeed(uint64(trial)))
+		p.checkCounters(t)
+		for i := 0; i < 60; i++ {
+			if r.Intn(10) == 0 {
+				p.Corrupt(r.Intn(g.N()), Color(1+r.Intn(3)), uint8(r.Intn(6)))
+			} else {
+				p.Step()
+			}
+			p.checkCounters(t)
+		}
+	}
+}
+
+// Once Stabilized() reports true it must never revert (without corruption):
+// property over random graphs and seeds, for all three processes.
+func TestStabilizationMonotoneProperty(t *testing.T) {
+	master := xrand.New(64)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(50)
+		g := graph.Gnp(n, r.Float64()*0.3, r)
+		for _, p := range []Process{
+			NewTwoState(g, WithSeed(seed)),
+			NewThreeState(g, WithSeed(seed)),
+			NewThreeColor(g, WithSeed(seed)),
+		} {
+			Run(p, 4*DefaultRoundCap(n))
+			if !p.Stabilized() {
+				return false
+			}
+			for i := 0; i < 20; i++ {
+				p.Step()
+				if !p.Stabilized() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The black set of a stabilized 3-color process contains no gray vertices'
+// conflicts: grays may persist indefinitely only if they are dominated by a
+// stable black neighbor.
+func TestThreeColorStabilizedGraysAreDominated(t *testing.T) {
+	g := graph.Gnp(80, 0.1, xrand.New(65))
+	p := NewThreeColor(g, WithSeed(9))
+	Run(p, 20000)
+	if !p.Stabilized() {
+		t.Fatal("did not stabilize")
+	}
+	for u := 0; u < g.N(); u++ {
+		if p.ColorOf(u) != ColorGray {
+			continue
+		}
+		dominated := false
+		for _, v := range g.Neighbors(u) {
+			if p.ColorOf(int(v)) == ColorBlack {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("stabilized gray vertex %d has no black neighbor", u)
+		}
+	}
+}

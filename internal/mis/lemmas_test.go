@@ -1,0 +1,166 @@
+package mis
+
+// Statistical verification of the paper's basic probabilistic lemmas for
+// the 2-state process. These are Monte-Carlo estimates compared against the
+// proven lower bounds with generous slack: the proofs' bounds are not tight,
+// so the empirical frequencies must sit ABOVE them.
+
+import (
+	"math"
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/stats"
+	"ssmis/internal/xrand"
+)
+
+// Lemma 6: if u is active with k >= 1 active neighbors at the end of round
+// t, then P[u is stable black by round t + ceil(log2(k+1))] >= 1/(2ek).
+// We realize the premise exactly with an all-white star K_{1,k}: every
+// vertex is active, the center has k active neighbors.
+func TestLemmaSixStableBlackProbability(t *testing.T) {
+	for _, k := range []int{1, 3, 7, 15} {
+		g := graph.Star(k + 1) // center 0 with k leaves
+		horizon := int(math.Ceil(math.Log2(float64(k + 1))))
+		if horizon < 1 {
+			horizon = 1
+		}
+		const trials = 4000
+		hits := 0
+		for s := uint64(0); s < trials; s++ {
+			p := NewTwoState(g, WithSeed(s), WithInit(InitAllWhite))
+			for r := 0; r < horizon; r++ {
+				p.Step()
+			}
+			// Stable black = black with no black neighbors.
+			if p.Black(0) {
+				anyBlackLeaf := false
+				for u := 1; u <= k; u++ {
+					if p.Black(u) {
+						anyBlackLeaf = true
+						break
+					}
+				}
+				if !anyBlackLeaf {
+					hits++
+				}
+			}
+		}
+		got := float64(hits) / trials
+		bound := 1 / (2 * math.E * float64(k))
+		// Allow 20% relative slack for Monte-Carlo noise; the true
+		// probability is well above the bound, so this is conservative.
+		if got < 0.8*bound {
+			t.Errorf("k=%d: P[stable black within %d rounds] = %.4f < 0.8·bound %.4f",
+				k, horizon, got, bound)
+		}
+	}
+}
+
+// Lemma 7 (multi-vertex version): with ℓ active vertices u_1..u_ℓ each
+// having k active neighbors, P[some u_i stable black by t+log(max k_i + 1)]
+// >= (1/5)·min(1, ℓ/(2k)). Realized with ℓ disjoint all-white stars.
+func TestLemmaSevenSomeVertexStabilizes(t *testing.T) {
+	const k, ell = 7, 4
+	// ell disjoint stars K_{1,k}; centers are ell active vertices with k
+	// active neighbors each.
+	b := graph.NewBuilder(ell * (k + 1))
+	centers := make([]int, ell)
+	for i := 0; i < ell; i++ {
+		base := i * (k + 1)
+		centers[i] = base
+		for leaf := 1; leaf <= k; leaf++ {
+			b.AddEdge(base, base+leaf)
+		}
+	}
+	g := b.Build()
+	horizon := int(math.Ceil(math.Log2(float64(k + 1))))
+	const trials = 3000
+	hits := 0
+	for s := uint64(0); s < trials; s++ {
+		p := NewTwoState(g, WithSeed(s), WithInit(InitAllWhite))
+		for r := 0; r < horizon; r++ {
+			p.Step()
+		}
+		for _, c := range centers {
+			if p.Black(c) {
+				stable := true
+				for _, v := range g.Neighbors(c) {
+					if p.Black(int(v)) {
+						stable = false
+						break
+					}
+				}
+				if stable {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	got := float64(hits) / trials
+	bound := 0.2 * math.Min(1, float64(ell)/(2*float64(k)))
+	if got < 0.8*bound {
+		t.Errorf("P[some center stable black] = %.4f < 0.8·bound %.4f", got, bound)
+	}
+}
+
+// Theorem 8's tail: on K_n, P[T >= k·log2 n] decays geometrically in k. The
+// fitted log2-tail slope must be clearly negative and roughly constant —
+// the paper proves 2^{-Θ(k)}.
+func TestTheoremEightGeometricTail(t *testing.T) {
+	const n, trials = 512, 400
+	g := graph.Complete(n)
+	sample := make([]float64, 0, trials)
+	for s := uint64(0); s < trials; s++ {
+		res := Run(NewTwoState(g, WithSeed(s)), 1<<20)
+		if !res.Stabilized {
+			t.Fatal("clique run did not stabilize")
+		}
+		sample = append(sample, float64(res.Rounds))
+	}
+	slope, points := stats.GeometricTailSlope(sample, math.Log2(n), 8)
+	if points < 2 {
+		t.Skipf("tail too thin for a fit (%d points)", points)
+	}
+	if slope > -0.5 || slope < -6 {
+		t.Errorf("tail slope %.2f outside the plausible Θ(1) band [-6, -0.5] (%d points)", slope, points)
+	}
+}
+
+// The paper's stabilization criterion: for the 2-state process,
+// A_t = ∅ ⟺ the black set is an MIS. Verified across random executions
+// stopped at random times.
+func TestActiveEmptyIffMIS(t *testing.T) {
+	g := graph.Gnp(100, 0.05, xrand.New(51))
+	for s := uint64(0); s < 30; s++ {
+		p := NewTwoState(g, WithSeed(s))
+		steps := int(s % 17)
+		for i := 0; i < steps && !p.Stabilized(); i++ {
+			p.Step()
+		}
+		isMIS := checkMIS(g, p)
+		if (p.ActiveCount() == 0) != isMIS {
+			t.Fatalf("seed %d: active=%d but isMIS=%v", s, p.ActiveCount(), isMIS)
+		}
+	}
+}
+
+func checkMIS(g *graph.Graph, p Process) bool {
+	for u := 0; u < g.N(); u++ {
+		anyBlackNbr := false
+		for _, v := range g.Neighbors(u) {
+			if p.Black(int(v)) {
+				anyBlackNbr = true
+				break
+			}
+		}
+		if p.Black(u) && anyBlackNbr {
+			return false
+		}
+		if !p.Black(u) && !anyBlackNbr {
+			return false
+		}
+	}
+	return true
+}

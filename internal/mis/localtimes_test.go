@@ -1,0 +1,123 @@
+package mis
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func TestLocalTimesRecorded(t *testing.T) {
+	g := graph.Gnp(120, 0.06, xrand.New(81))
+	p := NewTwoState(g, WithSeed(3), WithLocalTimes())
+	res := Run(p, 10000)
+	if !res.Stabilized {
+		t.Fatal("did not stabilize")
+	}
+	times := p.StabilizationTimes()
+	if len(times) != g.N() {
+		t.Fatalf("times length %d", len(times))
+	}
+	maxT := 0
+	for u, ti := range times {
+		if ti < 0 {
+			t.Fatalf("vertex %d has no stabilization time after global stabilization", u)
+		}
+		if ti > res.Rounds {
+			t.Fatalf("vertex %d time %d exceeds global %d", u, ti, res.Rounds)
+		}
+		if ti > maxT {
+			maxT = ti
+		}
+	}
+	// The global stabilization round is the maximum local one.
+	if maxT != res.Rounds {
+		t.Fatalf("max local time %d != global rounds %d", maxT, res.Rounds)
+	}
+}
+
+func TestLocalTimesNilWhenDisabled(t *testing.T) {
+	p := NewTwoState(graph.Path(5), WithSeed(1))
+	if p.StabilizationTimes() != nil {
+		t.Fatal("times returned without WithLocalTimes")
+	}
+}
+
+func TestLocalTimesMonotoneUnderSteps(t *testing.T) {
+	g := graph.Gnp(80, 0.08, xrand.New(82))
+	p := NewTwoState(g, WithSeed(5), WithLocalTimes())
+	prev := p.StabilizationTimes()
+	for i := 0; i < 200 && !p.Stabilized(); i++ {
+		p.Step()
+		cur := p.StabilizationTimes()
+		for u := range cur {
+			if prev[u] >= 0 && cur[u] != prev[u] {
+				t.Fatalf("vertex %d stabilization time changed %d -> %d", u, prev[u], cur[u])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestLocalTimesAllProcesses(t *testing.T) {
+	g := graph.Gnp(60, 0.1, xrand.New(83))
+	type timed interface {
+		StabilizationTimes() []int
+	}
+	procs := []Process{
+		NewTwoState(g, WithSeed(7), WithLocalTimes()),
+		NewThreeState(g, WithSeed(7), WithLocalTimes()),
+		NewThreeColor(g, WithSeed(7), WithLocalTimes()),
+	}
+	for _, p := range procs {
+		Run(p, 20000)
+		if !p.Stabilized() {
+			t.Fatalf("%s did not stabilize", p.Name())
+		}
+		times := p.(timed).StabilizationTimes()
+		for u, ti := range times {
+			if ti < 0 {
+				t.Fatalf("%s: vertex %d unrecorded", p.Name(), u)
+			}
+		}
+	}
+}
+
+func TestLocalTimesResetOnCorruption(t *testing.T) {
+	g := graph.Path(6)
+	p := NewTwoState(g, WithSeed(9), WithLocalTimes())
+	Run(p, 1000)
+	p.Corrupt(2, !p.Black(2))
+	times := p.StabilizationTimes()
+	// After a reset, only currently-covered vertices carry times, and those
+	// carry the current round, not historic rounds.
+	for u, ti := range times {
+		if ti >= 0 && ti != p.Round() {
+			t.Fatalf("vertex %d kept stale time %d after corruption (round %d)", u, ti, p.Round())
+		}
+	}
+	Run(p, 1000)
+	if !p.Stabilized() {
+		t.Fatal("no recovery")
+	}
+}
+
+// Local vs global: on a long path, the mean local stabilization time should
+// be well below the global maximum — stabilization is locally fast and the
+// global bound is a straggler phenomenon.
+func TestLocalTimesMeanBelowGlobal(t *testing.T) {
+	g := graph.Path(2000)
+	p := NewTwoState(g, WithSeed(11), WithLocalTimes())
+	res := Run(p, 100000)
+	if !res.Stabilized {
+		t.Fatal("did not stabilize")
+	}
+	sum := 0
+	for _, ti := range p.StabilizationTimes() {
+		sum += ti
+	}
+	mean := float64(sum) / float64(g.N())
+	if mean >= float64(res.Rounds)*0.8 {
+		t.Fatalf("mean local time %.1f not well below global %d", mean, res.Rounds)
+	}
+}

@@ -1,0 +1,105 @@
+package mis
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+// The parallel engine must be bit-identical to the sequential one: same
+// colors every round, same stabilization round, same bit count.
+func TestParallelStepMatchesSequential(t *testing.T) {
+	master := xrand.New(101)
+	for trial := 0; trial < 10; trial++ {
+		r := master.Split(uint64(trial))
+		n := 50 + r.Intn(300)
+		g := graph.Gnp(n, 4/float64(n)+r.Float64()*0.05, r)
+		seed := uint64(trial)
+		seq := NewTwoState(g, WithSeed(seed))
+		par := NewTwoState(g, WithSeed(seed), WithWorkers(8))
+		for i := 0; i < 5000 && !seq.Stabilized(); i++ {
+			seq.Step()
+			par.Step()
+			if seq.Round() != par.Round() {
+				t.Fatalf("trial %d: rounds diverged", trial)
+			}
+			for u := 0; u < n; u++ {
+				if seq.Black(u) != par.Black(u) {
+					t.Fatalf("trial %d round %d: colors diverge at %d", trial, seq.Round(), u)
+				}
+			}
+		}
+		if !seq.Stabilized() || !par.Stabilized() {
+			t.Fatalf("trial %d: stabilization mismatch (seq=%v par=%v)",
+				trial, seq.Stabilized(), par.Stabilized())
+		}
+		if seq.RandomBits() != par.RandomBits() {
+			t.Fatalf("trial %d: bit counts differ: %d vs %d", trial, seq.RandomBits(), par.RandomBits())
+		}
+	}
+}
+
+func TestParallelCliqueFastPath(t *testing.T) {
+	g := graph.Complete(200)
+	seq := NewTwoState(g, WithSeed(5))
+	par := NewTwoState(g, WithSeed(5), WithWorkers(6))
+	rs := Run(seq, 100000)
+	rp := Run(par, 100000)
+	if rs != rp {
+		t.Fatalf("clique results differ: %+v vs %+v", rs, rp)
+	}
+}
+
+func TestParallelProducesMIS(t *testing.T) {
+	g := graph.Gnp(2000, 0.005, xrand.New(102))
+	p := NewTwoState(g, WithSeed(9), WithWorkers(12))
+	res := Run(p, 100000)
+	if !res.Stabilized {
+		t.Fatal("parallel run did not stabilize")
+	}
+	if err := verify.MIS(g, p.Black); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelWithLocalTimes(t *testing.T) {
+	g := graph.Gnp(500, 0.01, xrand.New(103))
+	seq := NewTwoState(g, WithSeed(4), WithLocalTimes())
+	par := NewTwoState(g, WithSeed(4), WithLocalTimes(), WithWorkers(4))
+	Run(seq, 100000)
+	Run(par, 100000)
+	st, pt := seq.StabilizationTimes(), par.StabilizationTimes()
+	for u := range st {
+		if st[u] != pt[u] {
+			t.Fatalf("local times differ at %d: %d vs %d", u, st[u], pt[u])
+		}
+	}
+}
+
+func TestParallelCounterIntegrity(t *testing.T) {
+	g := graph.Gnp(300, 0.02, xrand.New(104))
+	p := NewTwoState(g, WithSeed(6), WithWorkers(7))
+	for i := 0; i < 100 && !p.Stabilized(); i++ {
+		p.Step()
+		p.checkCounters(t)
+	}
+}
+
+func BenchmarkParallelStepGnp100k(b *testing.B) {
+	g := graph.GnpAvgDegree(100000, 10, xrand.New(105))
+	p := NewTwoState(g, mkSeed(0), WithInit(InitAllWhite), WithWorkers(16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Stabilized() {
+			b.StopTimer()
+			p = NewTwoState(g, mkSeed(uint64(i)), WithInit(InitAllWhite), WithWorkers(16))
+			b.StartTimer()
+		}
+		p.Step()
+	}
+}
+
+func mkSeed(s uint64) Option { return WithSeed(s) }

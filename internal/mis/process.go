@@ -1,0 +1,338 @@
+// Package mis implements the paper's three self-stabilizing MIS processes —
+// the 2-state process (Definition 4), the 3-state process (Definition 5) and
+// the 3-color process with logarithmic switch (Definition 28) — on top of a
+// fast array-based synchronous simulator.
+//
+// All processes share the same contract: states are arbitrary initially
+// (self-stabilization), all vertices update in parallel rounds, and the
+// process has stabilized once every vertex is stable in the paper's sense,
+// at which point the black vertices form a maximal independent set. The
+// per-vertex random coins are drawn from per-vertex streams split off a
+// master seed, so a run is a pure function of (graph, seed, initializer) —
+// and the goroutine-based runtimes in internal/beeping and internal/stoneage
+// draw the same coins in the same order, making the two engines
+// coin-for-coin equivalent.
+package mis
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// Process is the common interface of the three MIS processes.
+type Process interface {
+	// Name identifies the process family, e.g. "2-state".
+	Name() string
+	// N returns the number of vertices.
+	N() int
+	// Round returns the number of completed rounds.
+	Round() int
+	// Step advances one synchronous round.
+	Step()
+	// Stabilized reports whether every vertex is stable; once true it stays
+	// true and the black set is an MIS.
+	Stabilized() bool
+	// Black reports the color projection of vertex u (black1/black0 both
+	// count as black in the 3-state process).
+	Black(u int) bool
+	// ActiveCount returns the number of active vertices at the end of the
+	// last completed round.
+	ActiveCount() int
+	// RandomBits returns the total number of random bits consumed.
+	RandomBits() int64
+	// States returns the size of the per-vertex state space (2, 3, or 18).
+	States() int
+}
+
+// Init selects an initial-state distribution. The processes are
+// self-stabilizing, so "initial state" is an adversarial choice; these are
+// the structured adversaries used throughout the experiments.
+type Init int
+
+// Initialization adversaries.
+const (
+	// InitRandom draws every vertex state (including switch levels for the
+	// 3-color process) independently and uniformly from the full state
+	// space.
+	InitRandom Init = iota + 1
+	// InitAllWhite starts with every vertex white: every vertex active.
+	InitAllWhite
+	// InitAllBlack starts with every vertex black: on any graph with edges,
+	// a maximally conflicted configuration.
+	InitAllBlack
+	// InitCheckerboard colors vertices black/white by index parity, a
+	// correlated adversarial pattern.
+	InitCheckerboard
+	// InitNearMIS computes a greedy MIS, then corrupts it by flipping a
+	// handful of vertices — "almost legal" configurations that test local
+	// repair rather than global construction.
+	InitNearMIS
+)
+
+func (i Init) String() string {
+	switch i {
+	case InitRandom:
+		return "random"
+	case InitAllWhite:
+		return "all-white"
+	case InitAllBlack:
+		return "all-black"
+	case InitCheckerboard:
+		return "checkerboard"
+	case InitNearMIS:
+		return "near-MIS"
+	default:
+		return fmt.Sprintf("Init(%d)", int(i))
+	}
+}
+
+// AllInits lists every initialization adversary, for sweep experiments.
+func AllInits() []Init {
+	return []Init{InitRandom, InitAllWhite, InitAllBlack, InitCheckerboard, InitNearMIS}
+}
+
+// options carries the configuration shared by the process constructors.
+type options struct {
+	seed uint64
+	init Init
+	// explicit initial blackness; overrides init when non-nil (2-state and
+	// color projection of the others).
+	initialBlack []bool
+	// blackBias is the probability an active vertex randomizes to black
+	// (default 0.5 — the paper's uniform coin). Footnote 1 of the paper
+	// notes the white→black transition could even have probability 1; this
+	// knob implements the E13 ablation over that choice.
+	blackBias float64
+	// switchZetaLog2 sets the 3-color logarithmic switch's ζ = 2^-k
+	// (default 7, the paper's value); ignored by the other processes.
+	switchZetaLog2 uint
+	// trackLocal enables per-vertex stabilization-time recording (the
+	// "local complexity" of the execution) at O(n + Σ deg(I_t)) extra cost
+	// per round.
+	trackLocal bool
+	// workers > 1 enables intra-round parallelism where supported.
+	workers int
+}
+
+// Option configures a process constructor.
+type Option func(*options)
+
+// WithSeed sets the master seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithInit selects the initialization adversary (default InitRandom).
+func WithInit(init Init) Option {
+	return func(o *options) { o.init = init }
+}
+
+// WithInitialBlack supplies an explicit initial black mask. The slice is
+// copied. For the 3-state process black vertices start in black1; for the
+// 3-color process non-black vertices start white and switch levels start
+// uniform.
+func WithInitialBlack(black []bool) Option {
+	return func(o *options) {
+		o.initialBlack = append([]bool(nil), black...)
+	}
+}
+
+// WithBlackBias sets the probability that an active vertex randomizes to
+// black (default 0.5). Values outside (0, 1) panic. Non-default biases
+// consume one 64-bit draw per coin instead of one bit.
+func WithBlackBias(p float64) Option {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("mis: black bias %v outside (0,1)", p))
+	}
+	return func(o *options) { o.blackBias = p }
+}
+
+// WithSwitchZetaLog2 sets the 3-color process's switch parameter ζ = 2^-k
+// (default k = 7, the paper's value). Other processes ignore it.
+func WithSwitchZetaLog2(k uint) Option {
+	return func(o *options) { o.switchZetaLog2 = k }
+}
+
+// WithLocalTimes enables per-vertex stabilization-time recording: the round
+// at which each vertex first became stable (entered N+(I_t)) is retained
+// and exposed through the process's StabilizationTimes method. The paper's
+// global bounds are driven by straggler vertices; this instrument separates
+// the typical (local) from the worst (global) stabilization behaviour.
+func WithLocalTimes() Option {
+	return func(o *options) { o.trackLocal = true }
+}
+
+// localTimes is the shared per-vertex stabilization recorder. A vertex's
+// time is the first round at the end of which it was stable black or had a
+// stable black neighbor; coverage is monotone for all three processes, so
+// first-cover is well defined.
+type localTimes struct {
+	round []int32 // -1 until covered
+}
+
+func newLocalTimes(n int) *localTimes {
+	lt := &localTimes{round: make([]int32, n)}
+	for i := range lt.round {
+		lt.round[i] = -1
+	}
+	return lt
+}
+
+// record marks every currently uncovered vertex in N+(I) with the round.
+// inI must report "black with no black neighbor".
+func (lt *localTimes) record(g *graph.Graph, round int, inI func(u int) bool) {
+	for u := range lt.round {
+		if !inI(u) {
+			continue
+		}
+		if lt.round[u] < 0 {
+			lt.round[u] = int32(round)
+		}
+		for _, v := range g.Neighbors(u) {
+			if lt.round[v] < 0 {
+				lt.round[v] = int32(round)
+			}
+		}
+	}
+}
+
+// times returns a copy as ints (-1 = never stabilized).
+func (lt *localTimes) times() []int {
+	out := make([]int, len(lt.round))
+	for i, r := range lt.round {
+		out[i] = int(r)
+	}
+	return out
+}
+
+// reset clears all recorded times (used after corruption).
+func (lt *localTimes) reset() {
+	for i := range lt.round {
+		lt.round[i] = -1
+	}
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1, init: InitRandom, blackBias: 0.5, switchZetaLog2: 7}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// coin draws a black/not-black coin with the configured bias from rng,
+// returning the outcome and the number of random bits consumed.
+func (o options) coin(rng *xrand.Rand) (black bool, bits int64) {
+	if o.blackBias == 0.5 {
+		return rng.Bit(), 1
+	}
+	return rng.Bernoulli(o.blackBias), 64
+}
+
+// initialBlackMask materializes the initialization adversary as a black mask
+// over g's vertices, consuming randomness from rng.
+func initialBlackMask(g *graph.Graph, o options, rng *xrand.Rand) []bool {
+	n := g.N()
+	if o.initialBlack != nil {
+		if len(o.initialBlack) != n {
+			panic(fmt.Sprintf("mis: initial mask length %d != n %d", len(o.initialBlack), n))
+		}
+		return append([]bool(nil), o.initialBlack...)
+	}
+	black := make([]bool, n)
+	switch o.init {
+	case InitRandom:
+		for u := range black {
+			black[u] = rng.Bit()
+		}
+	case InitAllWhite:
+		// zero value
+	case InitAllBlack:
+		for u := range black {
+			black[u] = true
+		}
+	case InitCheckerboard:
+		for u := range black {
+			black[u] = u%2 == 0
+		}
+	case InitNearMIS:
+		// Greedy MIS, then flip ~max(1, n/50) random vertices.
+		blocked := make([]bool, n)
+		for u := 0; u < n; u++ {
+			if !blocked[u] {
+				black[u] = true
+				for _, v := range g.Neighbors(u) {
+					blocked[v] = true
+				}
+			}
+		}
+		flips := n / 50
+		if flips < 1 {
+			flips = 1
+		}
+		for i := 0; i < flips; i++ {
+			u := rng.Intn(n)
+			black[u] = !black[u]
+		}
+	default:
+		panic(fmt.Sprintf("mis: unknown init %v", o.init))
+	}
+	return black
+}
+
+// splitVertexStreams derives the per-vertex random streams from the master
+// seed. Stream u is master.Split(u); the master's stream indices at and
+// above n are reserved for initialization and auxiliary draws.
+func splitVertexStreams(n int, master *xrand.Rand) []*xrand.Rand {
+	rngs := make([]*xrand.Rand, n)
+	for u := range rngs {
+		rngs[u] = master.Split(uint64(u))
+	}
+	return rngs
+}
+
+// initStreamIndex is the master stream index used for initialization coins,
+// kept distinct from all per-vertex streams.
+func initStream(n int, master *xrand.Rand) *xrand.Rand {
+	return master.Split(uint64(n) + 1)
+}
+
+// Result summarizes a completed (or round-capped) run.
+type Result struct {
+	// Rounds is the number of rounds executed until stabilization (or the
+	// cap).
+	Rounds int
+	// Stabilized reports whether the process stabilized within the cap.
+	Stabilized bool
+	// RandomBits is the total random bits consumed by the process.
+	RandomBits int64
+}
+
+// Run advances p until it stabilizes or maxRounds rounds have elapsed.
+func Run(p Process, maxRounds int) Result {
+	for !p.Stabilized() && p.Round() < maxRounds {
+		p.Step()
+	}
+	return Result{Rounds: p.Round(), Stabilized: p.Stabilized(), RandomBits: p.RandomBits()}
+}
+
+// DefaultRoundCap returns a generous cap for experiments: well above every
+// polylog bound proven in the paper at laptop scales, so hitting it signals
+// a real anomaly rather than bad luck. It is 200·log₂²(n), floored for tiny
+// graphs.
+func DefaultRoundCap(n int) int {
+	if n < 2 {
+		return 64
+	}
+	log2 := 0
+	for m := n; m > 0; m >>= 1 {
+		log2++
+	}
+	limit := 200 * log2 * log2
+	if limit < 2000 {
+		limit = 2000
+	}
+	return limit
+}

@@ -1,0 +1,145 @@
+package mis
+
+// Differential tests: the optimized simulators must agree with the naive
+// reference transcriptions of the paper's definitions on every state of
+// every round, across random graphs, seeds and adversarial initializations.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func TestTwoStateMatchesReference(t *testing.T) {
+	master := xrand.New(71)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(60)
+		g := graph.Gnp(n, r.Float64()*0.4, r)
+		opt := NewTwoState(g, WithSeed(seed))
+		ref := NewRefTwoState(g, seed, opt.BlackMask())
+		for i := 0; i < 200 && !opt.Stabilized(); i++ {
+			opt.Step()
+			ref.Step()
+			for u := 0; u < n; u++ {
+				if opt.Black(u) != ref.Black(u) {
+					return false
+				}
+			}
+			if opt.Stabilized() != ref.Stabilized() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStateCompleteFastPathMatchesReference(t *testing.T) {
+	// The clique fast path (global black count instead of per-vertex
+	// counters) against the oracle.
+	g := graph.Complete(48)
+	for seed := uint64(0); seed < 10; seed++ {
+		opt := NewTwoState(g, WithSeed(seed))
+		ref := NewRefTwoState(g, seed, opt.BlackMask())
+		for i := 0; i < 500 && !opt.Stabilized(); i++ {
+			opt.Step()
+			ref.Step()
+			for u := 0; u < g.N(); u++ {
+				if opt.Black(u) != ref.Black(u) {
+					t.Fatalf("seed %d round %d: fast path diverged at %d", seed, i+1, u)
+				}
+			}
+		}
+		if !opt.Stabilized() || !ref.Stabilized() {
+			t.Fatalf("seed %d: stabilization mismatch", seed)
+		}
+	}
+}
+
+func TestThreeStateMatchesReference(t *testing.T) {
+	master := xrand.New(72)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(50)
+		g := graph.Gnp(n, r.Float64()*0.4, r)
+		opt := NewThreeState(g, WithSeed(seed))
+		initial := make([]TriState, n)
+		for u := 0; u < n; u++ {
+			initial[u] = opt.State(u)
+		}
+		ref := NewRefThreeState(g, seed, initial)
+		for i := 0; i < 200; i++ {
+			opt.Step()
+			ref.Step()
+			for u := 0; u < n; u++ {
+				if opt.State(u) != ref.State(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeColorMatchesReference(t *testing.T) {
+	master := xrand.New(73)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(40)
+		g := graph.Gnp(n, r.Float64()*0.5, r)
+		opt := NewThreeColor(g, WithSeed(seed))
+		colors := make([]Color, n)
+		levels := make([]uint8, n)
+		for u := 0; u < n; u++ {
+			colors[u] = opt.ColorOf(u)
+			levels[u] = opt.SwitchLevel(u)
+		}
+		ref := NewRefThreeColor(g, seed, colors, levels)
+		for i := 0; i < 300; i++ {
+			opt.Step()
+			ref.Step()
+			for u := 0; u < n; u++ {
+				if opt.ColorOf(u) != ref.ColorOf(u) || opt.SwitchLevel(u) != ref.Level(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeColorCliqueFastPathMatchesReference(t *testing.T) {
+	// The phase clock takes a global-max fast path on complete graphs; the
+	// oracle never does. They must still agree.
+	g := graph.Complete(24)
+	for seed := uint64(0); seed < 5; seed++ {
+		opt := NewThreeColor(g, WithSeed(seed))
+		colors := make([]Color, g.N())
+		levels := make([]uint8, g.N())
+		for u := 0; u < g.N(); u++ {
+			colors[u] = opt.ColorOf(u)
+			levels[u] = opt.SwitchLevel(u)
+		}
+		ref := NewRefThreeColor(g, seed, colors, levels)
+		for i := 0; i < 400; i++ {
+			opt.Step()
+			ref.Step()
+			for u := 0; u < g.N(); u++ {
+				if opt.ColorOf(u) != ref.ColorOf(u) || opt.SwitchLevel(u) != ref.Level(u) {
+					t.Fatalf("seed %d round %d: clique fast path diverged at %d", seed, i+1, u)
+				}
+			}
+		}
+	}
+}

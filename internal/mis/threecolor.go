@@ -1,0 +1,326 @@
+package mis
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/phaseclock"
+	"ssmis/internal/xrand"
+)
+
+// Color is a vertex color of the 3-color MIS process.
+type Color uint8
+
+// The three colors of Definition 28. Gray vertices are treated as non-black
+// by their neighbors; a gray vertex turns white only when its logarithmic
+// switch reads "on", which throttles how often a vertex can re-enter the
+// white→black competition — the mechanism that makes the dense G(n,p) regime
+// tractable.
+const (
+	ColorWhite Color = iota + 1
+	ColorBlack
+	ColorGray
+)
+
+func (c Color) String() string {
+	switch c {
+	case ColorWhite:
+		return "white"
+	case ColorBlack:
+		return "black"
+	case ColorGray:
+		return "gray"
+	default:
+		return fmt.Sprintf("Color(%d)", uint8(c))
+	}
+}
+
+// ThreeColor is the paper's 3-color MIS process (Definition 28): the 2-state
+// update rule with two changes — an active black vertex randomizes between
+// black and gray (not white), and a gray vertex becomes white only when its
+// (a, 3)-logarithmic switch (Definition 26, a = 512, ζ = 2^-7) is on. The
+// switch runs in parallel as a sub-process; total state space is
+// 3 × 6 = 18 states per vertex.
+//
+// Per round, a vertex draws its color coin first (if active) and its switch
+// coin second (if at the top level); the goroutine runtime replays the same
+// order, keeping engines coin-for-coin equal.
+type ThreeColor struct {
+	g        *graph.Graph
+	color    []Color
+	next     []Color
+	nbrBlack []int32
+	clock    *phaseclock.Clock
+	rngs     []*xrand.Rand
+	opts     options
+	round    int
+	bits     int64
+
+	activeCnt  int
+	stabilized bool
+	mark       []int32
+	markStamp  int32
+	lt         *localTimes
+}
+
+var _ Process = (*ThreeColor)(nil)
+
+// NewThreeColor creates a 3-color process on g. InitRandom draws colors
+// uniformly from {white, black, gray} and switch levels uniformly from
+// [0, 5]; mask-based initializers map black→black, white→white with uniform
+// random switch levels (the switch state is part of the adversarial state).
+func NewThreeColor(g *graph.Graph, opts ...Option) *ThreeColor {
+	o := buildOptions(opts)
+	master := xrand.New(o.seed)
+	n := g.N()
+	p := &ThreeColor{
+		g:        g,
+		color:    make([]Color, n),
+		next:     make([]Color, n),
+		nbrBlack: make([]int32, n),
+		// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7).
+		clock: phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2)),
+		rngs:  splitVertexStreams(n, master),
+		opts:  o,
+		mark:  make([]int32, n),
+	}
+	irng := initStream(n, master)
+	if o.initialBlack == nil && o.init == InitRandom {
+		for u := range p.color {
+			p.color[u] = Color(1 + irng.Intn(3))
+		}
+	} else {
+		mask := initialBlackMask(g, o, irng)
+		for u, b := range mask {
+			if b {
+				p.color[u] = ColorBlack
+			} else {
+				p.color[u] = ColorWhite
+			}
+		}
+	}
+	p.clock.RandomizeLevels(irng)
+	for i := range p.mark {
+		p.mark[i] = -1
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p
+}
+
+// inI reports "black with no black neighbor" (membership in I_t).
+func (p *ThreeColor) inI(u int) bool {
+	return p.color[u] == ColorBlack && p.nbrBlack[u] == 0
+}
+
+func (p *ThreeColor) recordLocal() {
+	if p.lt != nil {
+		p.lt.record(p.g, p.round, p.inI)
+	}
+}
+
+// StabilizationTimes returns the per-vertex stabilization rounds recorded
+// so far (-1 = not yet stable); nil unless WithLocalTimes was set.
+func (p *ThreeColor) StabilizationTimes() []int {
+	if p.lt == nil {
+		return nil
+	}
+	return p.lt.times()
+}
+
+func (p *ThreeColor) recount() {
+	for u := range p.nbrBlack {
+		p.nbrBlack[u] = 0
+	}
+	for u, c := range p.color {
+		if c != ColorBlack {
+			continue
+		}
+		for _, v := range p.g.Neighbors(u) {
+			p.nbrBlack[v]++
+		}
+	}
+	p.activeCnt = p.countActive()
+	p.stabilized = p.coverageComplete()
+}
+
+// active mirrors the 2-state predicate: black with a black neighbor, or
+// white with no black neighbor. Gray vertices are never active — their only
+// transition is the switch-gated gray→white.
+func (p *ThreeColor) active(u int) bool {
+	switch p.color[u] {
+	case ColorBlack:
+		return p.nbrBlack[u] > 0
+	case ColorWhite:
+		return p.nbrBlack[u] == 0
+	default:
+		return false
+	}
+}
+
+func (p *ThreeColor) countActive() int {
+	c := 0
+	for u := range p.color {
+		if p.active(u) {
+			c++
+		}
+	}
+	return c
+}
+
+// coverageComplete reports N+(I_t) = V for I_t = stable black vertices;
+// monotone as in the other processes (neighbors of a stable black vertex can
+// only be white or gray, and neither ever turns black).
+func (p *ThreeColor) coverageComplete() bool {
+	p.markStamp++
+	stamp := p.markStamp
+	covered := 0
+	for u, c := range p.color {
+		if c != ColorBlack || p.nbrBlack[u] != 0 {
+			continue
+		}
+		if p.mark[u] != stamp {
+			p.mark[u] = stamp
+			covered++
+		}
+		for _, v := range p.g.Neighbors(u) {
+			if p.mark[v] != stamp {
+				p.mark[v] = stamp
+				covered++
+			}
+		}
+	}
+	return covered == p.g.N()
+}
+
+// Name implements Process.
+func (p *ThreeColor) Name() string { return "3-color" }
+
+// N implements Process.
+func (p *ThreeColor) N() int { return p.g.N() }
+
+// Round implements Process.
+func (p *ThreeColor) Round() int { return p.round }
+
+// States implements Process: 3 colors × 6 switch levels.
+func (p *ThreeColor) States() int { return 3 * p.clock.States() }
+
+// RandomBits implements Process; includes the switch's coins.
+func (p *ThreeColor) RandomBits() int64 { return p.bits + p.clock.RandomBits() }
+
+// ActiveCount implements Process.
+func (p *ThreeColor) ActiveCount() int { return p.activeCnt }
+
+// Black implements Process.
+func (p *ThreeColor) Black(u int) bool { return p.color[u] == ColorBlack }
+
+// ColorOf returns the current color of u.
+func (p *ThreeColor) ColorOf(u int) Color { return p.color[u] }
+
+// SwitchLevel returns u's current switch level (0..5).
+func (p *ThreeColor) SwitchLevel(u int) uint8 { return p.clock.Level(u) }
+
+// SwitchOn returns u's current switch value.
+func (p *ThreeColor) SwitchOn(u int) bool { return p.clock.On(u) }
+
+// GrayCount returns |Γ_t|.
+func (p *ThreeColor) GrayCount() int {
+	c := 0
+	for _, col := range p.color {
+		if col == ColorGray {
+			c++
+		}
+	}
+	return c
+}
+
+// Stabilized implements Process.
+func (p *ThreeColor) Stabilized() bool { return p.stabilized }
+
+// Graph returns the underlying graph.
+func (p *ThreeColor) Graph() *graph.Graph { return p.g }
+
+// Step implements Process: one synchronous round of Definition 28. The color
+// update reads the switch values σ_{t-1} from the end of the previous round;
+// the switch then advances in parallel.
+func (p *ThreeColor) Step() {
+	for u, c := range p.color {
+		switch {
+		case c == ColorBlack && p.nbrBlack[u] > 0:
+			black, cost := p.opts.coin(p.rngs[u])
+			if black {
+				p.next[u] = ColorBlack
+			} else {
+				p.next[u] = ColorGray
+			}
+			p.bits += cost
+		case c == ColorWhite && p.nbrBlack[u] == 0:
+			black, cost := p.opts.coin(p.rngs[u])
+			if black {
+				p.next[u] = ColorBlack
+			} else {
+				p.next[u] = ColorWhite
+			}
+			p.bits += cost
+		case c == ColorGray && p.clock.On(u):
+			p.next[u] = ColorWhite
+		default:
+			p.next[u] = c
+		}
+	}
+	// Advance the switch using the same per-vertex streams, after the color
+	// coins (fixed per-round draw order).
+	p.clock.Step(func(u int) *xrand.Rand { return p.rngs[u] })
+	// Commit colors and update black-neighbor counters.
+	for u := range p.color {
+		prev, cur := p.color[u], p.next[u]
+		if prev == cur {
+			continue
+		}
+		db := b2i(cur == ColorBlack) - b2i(prev == ColorBlack)
+		if db != 0 {
+			for _, v := range p.g.Neighbors(u) {
+				p.nbrBlack[v] += int32(db)
+			}
+		}
+		p.color[u] = cur
+	}
+	p.round++
+	p.activeCnt = p.countActive()
+	if !p.stabilized {
+		p.stabilized = p.coverageComplete()
+	}
+	p.recordLocal()
+}
+
+// Rebind switches the process (and its switch sub-process) to a new graph
+// on the same vertex set, keeping all vertex states (topology churn).
+// It panics on order mismatch.
+func (p *ThreeColor) Rebind(g *graph.Graph) {
+	if g.N() != p.g.N() {
+		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
+	}
+	p.g = g
+	p.clock.Rebind(g)
+	p.stabilized = false
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+// Corrupt overwrites the color and switch level of u mid-run.
+func (p *ThreeColor) Corrupt(u int, c Color, level uint8) {
+	p.color[u] = c
+	p.clock.SetLevel(u, level)
+	p.stabilized = false
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}

@@ -1,0 +1,199 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+func TestThreeColorStabilizesOnFamilies(t *testing.T) {
+	rng := xrand.New(31)
+	families := map[string]*graph.Graph{
+		"single":     graph.Empty(1),
+		"edgeless":   graph.Empty(15),
+		"path":       graph.Path(50),
+		"cycle":      graph.Cycle(33),
+		"star":       graph.Star(30),
+		"clique":     graph.Complete(64),
+		"tree":       graph.RandomTree(200, rng),
+		"gnp-sparse": graph.Gnp(300, 0.01, rng),
+		"gnp-dense":  graph.Gnp(120, 0.3, rng),
+		"gnp-cross":  graph.Gnp(200, 0.18, rng), // p ≈ n^{-1/4} regime scaled down
+		"cliques":    graph.DisjointCliques(6, 6),
+	}
+	for name, g := range families {
+		p := NewThreeColor(g, WithSeed(5))
+		Run(p, DefaultRoundCap(g.N()))
+		if !p.Stabilized() {
+			t.Errorf("%s: not stabilized after %d rounds", name, p.Round())
+			continue
+		}
+		requireMIS(t, g, p)
+	}
+}
+
+func TestThreeColorAllInitsConverge(t *testing.T) {
+	g := graph.Gnp(150, 0.05, xrand.New(32))
+	for _, init := range AllInits() {
+		p := NewThreeColor(g, WithSeed(6), WithInit(init))
+		Run(p, DefaultRoundCap(g.N()))
+		if !p.Stabilized() {
+			t.Errorf("init %v: not stabilized", init)
+			continue
+		}
+		requireMIS(t, g, p)
+	}
+}
+
+func TestThreeColorEighteenStates(t *testing.T) {
+	p := NewThreeColor(graph.Path(3))
+	if p.States() != 18 {
+		t.Fatalf("States = %d, want 18 (Theorem 3)", p.States())
+	}
+	if p.Name() != "3-color" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestThreeColorGrayNeverDirectlyBlack(t *testing.T) {
+	// A gray vertex may only become white (switch on) or stay gray; track a
+	// run and asserts no gray→black transition ever happens.
+	g := graph.Gnp(60, 0.15, xrand.New(33))
+	p := NewThreeColor(g, WithSeed(7))
+	prev := make([]Color, g.N())
+	for u := range prev {
+		prev[u] = p.ColorOf(u)
+	}
+	for r := 0; r < 500 && !p.Stabilized(); r++ {
+		p.Step()
+		for u := 0; u < g.N(); u++ {
+			cur := p.ColorOf(u)
+			if prev[u] == ColorGray && cur == ColorBlack {
+				t.Fatalf("round %d: vertex %d went gray→black", p.Round(), u)
+			}
+			prev[u] = cur
+		}
+	}
+}
+
+func TestThreeColorActiveBlackGoesBlackOrGray(t *testing.T) {
+	// Deterministic check of the modified rule: an active black vertex never
+	// becomes white in one step.
+	g := graph.Path(2)
+	p := NewThreeColor(g, WithSeed(8))
+	p.color[0] = ColorBlack
+	p.color[1] = ColorBlack
+	p.recount()
+	p.Step()
+	for u := 0; u < 2; u++ {
+		if p.ColorOf(u) == ColorWhite {
+			t.Fatalf("active black vertex %d became white directly", u)
+		}
+	}
+}
+
+func TestThreeColorGrayDrainsViaSwitch(t *testing.T) {
+	// A gray vertex whose switch is on becomes white next round.
+	g := graph.Path(2)
+	p := NewThreeColor(g, WithSeed(9))
+	p.color[0] = ColorGray
+	p.color[1] = ColorWhite
+	p.clock.SetLevel(0, 1) // level 1 <= 2 -> on
+	p.clock.SetLevel(1, 5)
+	p.recount()
+	p.Step()
+	if p.ColorOf(0) != ColorWhite {
+		t.Fatalf("gray with switch on became %v, want white", p.ColorOf(0))
+	}
+}
+
+func TestThreeColorGrayHoldsWhileOff(t *testing.T) {
+	g := graph.Path(2)
+	p := NewThreeColor(g, WithSeed(10))
+	p.color[0] = ColorGray
+	p.color[1] = ColorBlack // freezes nothing for 0; gray ignores neighbors
+	p.clock.SetLevel(0, 5)  // off
+	p.clock.SetLevel(1, 5)
+	p.recount()
+	p.Step()
+	// Level 5 stays off with probability 1-ζ = 127/128; if by luck the coin
+	// fired, the level went to 4 (still off). Either way σ was off at the
+	// time of the color update, so the vertex must still be gray.
+	if p.ColorOf(0) != ColorGray {
+		t.Fatalf("gray with switch off became %v", p.ColorOf(0))
+	}
+}
+
+func TestThreeColorDeterminism(t *testing.T) {
+	g := graph.Gnp(90, 0.06, xrand.New(34))
+	a := NewThreeColor(g, WithSeed(77))
+	b := NewThreeColor(g, WithSeed(77))
+	ra, rb := Run(a, 20000), Run(b, 20000)
+	if ra != rb {
+		t.Fatalf("nondeterministic: %+v vs %+v", ra, rb)
+	}
+}
+
+func TestThreeColorCorruptionRecovery(t *testing.T) {
+	g := graph.Gnp(100, 0.07, xrand.New(35))
+	p := NewThreeColor(g, WithSeed(11))
+	Run(p, 20000)
+	requireMIS(t, g, p)
+	for u := 0; u < 15; u++ {
+		p.Corrupt(u, ColorGray, 5)
+	}
+	Run(p, 20000)
+	requireMIS(t, g, p)
+}
+
+func TestThreeColorGrayCount(t *testing.T) {
+	g := graph.Path(3)
+	p := NewThreeColor(g, WithSeed(12))
+	p.color[0] = ColorGray
+	p.color[1] = ColorGray
+	p.color[2] = ColorWhite
+	p.recount()
+	if p.GrayCount() != 2 {
+		t.Fatalf("GrayCount = %d, want 2", p.GrayCount())
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if ColorWhite.String() != "white" || ColorBlack.String() != "black" ||
+		ColorGray.String() != "gray" || Color(9).String() == "" {
+		t.Fatal("Color.String wrong")
+	}
+}
+
+func TestThreeColorSwitchAccessors(t *testing.T) {
+	p := NewThreeColor(graph.Path(3), WithSeed(13))
+	for u := 0; u < 3; u++ {
+		lvl := p.SwitchLevel(u)
+		if lvl > 5 {
+			t.Fatalf("switch level %d out of range", lvl)
+		}
+		if got, want := p.SwitchOn(u), lvl <= 2; got != want {
+			t.Fatal("SwitchOn inconsistent with SwitchLevel")
+		}
+	}
+}
+
+// Property: 3-color stabilization always yields an MIS, across densities
+// including dense graphs.
+func TestThreeColorMISProperty(t *testing.T) {
+	master := xrand.New(36)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(70)
+		g := graph.Gnp(n, r.Float64()*0.6, r)
+		p := NewThreeColor(g, WithSeed(seed))
+		Run(p, 4*DefaultRoundCap(n))
+		return p.Stabilized() && verify.MIS(g, p.Black) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package mis
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// TriState is a vertex state of the 3-state MIS process.
+type TriState uint8
+
+// The three states of Definition 5. Black1 and Black0 both present as
+// "black" to neighbors; the extra bit removes the need for collision
+// detection: a black0 vertex that hears a black1 neighbor knows it lost the
+// symmetry-breaking round and becomes white.
+const (
+	TriWhite TriState = iota + 1
+	TriBlack0
+	TriBlack1
+)
+
+func (s TriState) String() string {
+	switch s {
+	case TriWhite:
+		return "white"
+	case TriBlack0:
+		return "black0"
+	case TriBlack1:
+		return "black1"
+	default:
+		return fmt.Sprintf("TriState(%d)", uint8(s))
+	}
+}
+
+// Black reports whether the state presents as black.
+func (s TriState) Black() bool { return s == TriBlack0 || s == TriBlack1 }
+
+// ThreeState is the paper's 3-state MIS process (Definition 5):
+//
+//	if c(u) = black1, or (c(u) = black0 and no neighbor is black1), or
+//	   (c(u) = white and all neighbors are white):
+//	     c'(u) = uniformly random in {black1, black0}
+//	else if c(u) = black0:   c'(u) = white    // it has a black1 neighbor
+//	else:                    c'(u) = c(u)     // white with a black neighbor
+//
+// A vertex with no neighbors vacuously satisfies "all neighbors are white".
+// Stable black vertices alternate between black1 and black0 forever, so
+// stabilization is detected through the monotone core I_t (black vertices
+// with no black neighbors) covering the graph, not through state quiescence.
+type ThreeState struct {
+	g        *graph.Graph
+	state    []TriState
+	next     []TriState
+	nbrB1    []int32 // black1 neighbors
+	nbrBlack []int32 // black neighbors (black1 + black0)
+	rngs     []*xrand.Rand
+	round    int
+	bits     int64
+
+	activeCnt  int
+	stabilized bool
+	mark       []int32 // stamp buffer for the N+(I_t) coverage check
+	markStamp  int32
+	lt         *localTimes
+}
+
+var _ Process = (*ThreeState)(nil)
+
+// NewThreeState creates a 3-state process on g. With WithInitialBlack or the
+// mask-based initializers, black vertices start in black1; InitRandom draws
+// uniformly from all three states.
+func NewThreeState(g *graph.Graph, opts ...Option) *ThreeState {
+	o := buildOptions(opts)
+	master := xrand.New(o.seed)
+	n := g.N()
+	p := &ThreeState{
+		g:        g,
+		state:    make([]TriState, n),
+		next:     make([]TriState, n),
+		nbrB1:    make([]int32, n),
+		nbrBlack: make([]int32, n),
+		rngs:     splitVertexStreams(n, master),
+		mark:     make([]int32, n),
+	}
+	irng := initStream(n, master)
+	if o.initialBlack == nil && o.init == InitRandom {
+		for u := range p.state {
+			p.state[u] = TriState(1 + irng.Intn(3))
+		}
+	} else {
+		mask := initialBlackMask(g, o, irng)
+		for u, b := range mask {
+			if b {
+				p.state[u] = TriBlack1
+			} else {
+				p.state[u] = TriWhite
+			}
+		}
+	}
+	for i := range p.mark {
+		p.mark[i] = -1
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p
+}
+
+// inI reports "black with no black neighbor" (membership in I_t).
+func (p *ThreeState) inI(u int) bool {
+	return p.state[u].Black() && p.nbrBlack[u] == 0
+}
+
+func (p *ThreeState) recordLocal() {
+	if p.lt != nil {
+		p.lt.record(p.g, p.round, p.inI)
+	}
+}
+
+// StabilizationTimes returns the per-vertex stabilization rounds recorded
+// so far (-1 = not yet stable); nil unless WithLocalTimes was set.
+func (p *ThreeState) StabilizationTimes() []int {
+	if p.lt == nil {
+		return nil
+	}
+	return p.lt.times()
+}
+
+// recount rebuilds derived counters and the stabilization flag from state.
+func (p *ThreeState) recount() {
+	for u := range p.nbrB1 {
+		p.nbrB1[u] = 0
+		p.nbrBlack[u] = 0
+	}
+	for u, s := range p.state {
+		if !s.Black() {
+			continue
+		}
+		for _, v := range p.g.Neighbors(u) {
+			p.nbrBlack[v]++
+			if s == TriBlack1 {
+				p.nbrB1[v]++
+			}
+		}
+	}
+	p.activeCnt = p.countActive()
+	p.stabilized = p.coverageComplete()
+}
+
+// active reports whether u randomizes this round per Definition 5.
+func (p *ThreeState) active(u int) bool {
+	switch p.state[u] {
+	case TriBlack1:
+		return true
+	case TriBlack0:
+		return p.nbrB1[u] == 0
+	default: // white
+		return p.nbrBlack[u] == 0
+	}
+}
+
+func (p *ThreeState) countActive() int {
+	c := 0
+	for u := range p.state {
+		if p.active(u) {
+			c++
+		}
+	}
+	return c
+}
+
+// coverageComplete reports whether N+(I_t) = V, where I_t is the set of
+// black vertices with no black neighbor. I_t is monotone non-decreasing
+// under the update rule, so this condition is permanent once reached and the
+// black set then equals I_t, an MIS.
+func (p *ThreeState) coverageComplete() bool {
+	p.markStamp++
+	stamp := p.markStamp
+	covered := 0
+	n := p.g.N()
+	for u, s := range p.state {
+		if !s.Black() || p.nbrBlack[u] != 0 {
+			continue
+		}
+		if p.mark[u] != stamp {
+			p.mark[u] = stamp
+			covered++
+		}
+		for _, v := range p.g.Neighbors(u) {
+			if p.mark[v] != stamp {
+				p.mark[v] = stamp
+				covered++
+			}
+		}
+	}
+	return covered == n
+}
+
+// Name implements Process.
+func (p *ThreeState) Name() string { return "3-state" }
+
+// N implements Process.
+func (p *ThreeState) N() int { return p.g.N() }
+
+// Round implements Process.
+func (p *ThreeState) Round() int { return p.round }
+
+// States implements Process.
+func (p *ThreeState) States() int { return 3 }
+
+// RandomBits implements Process.
+func (p *ThreeState) RandomBits() int64 { return p.bits }
+
+// ActiveCount implements Process.
+func (p *ThreeState) ActiveCount() int { return p.activeCnt }
+
+// Black implements Process.
+func (p *ThreeState) Black(u int) bool { return p.state[u].Black() }
+
+// State returns the full state of u.
+func (p *ThreeState) State(u int) TriState { return p.state[u] }
+
+// Stabilized implements Process.
+func (p *ThreeState) Stabilized() bool { return p.stabilized }
+
+// Graph returns the underlying graph.
+func (p *ThreeState) Graph() *graph.Graph { return p.g }
+
+// Step implements Process: one synchronous round of Definition 5.
+func (p *ThreeState) Step() {
+	for u, s := range p.state {
+		switch {
+		case p.active(u):
+			if p.rngs[u].Bit() {
+				p.next[u] = TriBlack1
+			} else {
+				p.next[u] = TriBlack0
+			}
+			p.bits++
+		case s == TriBlack0:
+			p.next[u] = TriWhite
+		default:
+			p.next[u] = s
+		}
+	}
+	// Commit and update neighbor counters for changed vertices.
+	for u := range p.state {
+		prev, cur := p.state[u], p.next[u]
+		if prev == cur {
+			continue
+		}
+		db1 := b2i(cur == TriBlack1) - b2i(prev == TriBlack1)
+		db := b2i(cur.Black()) - b2i(prev.Black())
+		if db1 != 0 || db != 0 {
+			for _, v := range p.g.Neighbors(u) {
+				p.nbrB1[v] += int32(db1)
+				p.nbrBlack[v] += int32(db)
+			}
+		}
+		p.state[u] = cur
+	}
+	p.round++
+	p.activeCnt = p.countActive()
+	if !p.stabilized {
+		p.stabilized = p.coverageComplete()
+	}
+	p.recordLocal()
+}
+
+// Rebind switches the process to a new graph on the same vertex set,
+// keeping all vertex states (topology churn). It panics on order mismatch.
+func (p *ThreeState) Rebind(g *graph.Graph) {
+	if g.N() != p.g.N() {
+		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
+	}
+	p.g = g
+	p.stabilized = false
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+// Corrupt overwrites the state of u mid-run and rebuilds counters.
+func (p *ThreeState) Corrupt(u int, s TriState) {
+	p.state[u] = s
+	p.stabilized = false
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

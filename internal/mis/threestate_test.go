@@ -1,0 +1,213 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+func TestThreeStateStabilizesOnFamilies(t *testing.T) {
+	rng := xrand.New(21)
+	families := map[string]*graph.Graph{
+		"single":     graph.Empty(1),
+		"edgeless":   graph.Empty(15),
+		"path":       graph.Path(50),
+		"cycle":      graph.Cycle(33),
+		"star":       graph.Star(30),
+		"clique":     graph.Complete(64),
+		"tree":       graph.RandomTree(200, rng),
+		"gnp-sparse": graph.Gnp(300, 0.01, rng),
+		"gnp-dense":  graph.Gnp(120, 0.3, rng),
+		"cliques":    graph.DisjointCliques(6, 6),
+	}
+	for name, g := range families {
+		p := NewThreeState(g, WithSeed(5))
+		Run(p, DefaultRoundCap(g.N()))
+		if !p.Stabilized() {
+			t.Errorf("%s: not stabilized after %d rounds", name, p.Round())
+			continue
+		}
+		requireMIS(t, g, p)
+	}
+}
+
+func TestThreeStateAllInitsConverge(t *testing.T) {
+	g := graph.Gnp(150, 0.05, xrand.New(22))
+	for _, init := range AllInits() {
+		p := NewThreeState(g, WithSeed(6), WithInit(init))
+		Run(p, DefaultRoundCap(g.N()))
+		if !p.Stabilized() {
+			t.Errorf("init %v: not stabilized", init)
+			continue
+		}
+		requireMIS(t, g, p)
+	}
+}
+
+// After stabilization the black SET is fixed but stable black vertices keep
+// alternating between black1 and black0 — the paper notes this explicitly.
+func TestThreeStateStableBlackAlternates(t *testing.T) {
+	g := graph.Star(10)
+	p := NewThreeState(g, WithSeed(7))
+	Run(p, 10000)
+	requireMIS(t, g, p)
+	blackSet := make([]bool, g.N())
+	var stable []int
+	for u := 0; u < g.N(); u++ {
+		blackSet[u] = p.Black(u)
+		if p.Black(u) {
+			stable = append(stable, u)
+		}
+	}
+	seenBoth := make(map[int]map[TriState]bool)
+	for _, u := range stable {
+		seenBoth[u] = map[TriState]bool{}
+	}
+	for i := 0; i < 200; i++ {
+		p.Step()
+		for u := 0; u < g.N(); u++ {
+			if p.Black(u) != blackSet[u] {
+				t.Fatalf("black set changed after stabilization at vertex %d", u)
+			}
+		}
+		for _, u := range stable {
+			seenBoth[u][p.State(u)] = true
+		}
+	}
+	for _, u := range stable {
+		if !seenBoth[u][TriBlack1] || !seenBoth[u][TriBlack0] {
+			t.Fatalf("stable black vertex %d did not alternate: %v", u, seenBoth[u])
+		}
+	}
+}
+
+func TestThreeStateIsolatedVertexStabilizesBlack(t *testing.T) {
+	// An isolated white vertex has NC = ∅; the rule must treat this as "all
+	// neighbors white" so it eventually turns (and stays) black.
+	p := NewThreeState(graph.Empty(3), WithSeed(8), WithInit(InitAllWhite))
+	Run(p, 1000)
+	if !p.Stabilized() {
+		t.Fatal("isolated vertices did not stabilize")
+	}
+	for u := 0; u < 3; u++ {
+		if !p.Black(u) {
+			t.Fatalf("isolated vertex %d not black", u)
+		}
+	}
+}
+
+func TestThreeStateBlack0WithBlack1NeighborTurnsWhite(t *testing.T) {
+	// Deterministic transition: black0 with a black1 neighbor must become
+	// white in one round.
+	g := graph.Path(2)
+	p := NewThreeState(g, WithSeed(9))
+	p.state[0] = TriBlack1
+	p.state[1] = TriBlack0
+	p.recount()
+	p.Step()
+	if p.State(1) != TriWhite {
+		t.Fatalf("black0 with black1 neighbor became %v, want white", p.State(1))
+	}
+	// And vertex 0 (black1) must have randomized to black1 or black0.
+	if !p.State(0).Black() {
+		t.Fatalf("black1 vertex became %v", p.State(0))
+	}
+}
+
+func TestThreeStateWhiteWithBlackNeighborFrozen(t *testing.T) {
+	g := graph.Path(2)
+	p := NewThreeState(g, WithSeed(10))
+	p.state[0] = TriBlack0
+	p.state[1] = TriWhite
+	p.recount()
+	// 0 is black0 with no black1 neighbor -> randomizes (stays black);
+	// 1 is white with a black neighbor -> frozen white.
+	for i := 0; i < 50; i++ {
+		p.Step()
+		if p.State(1) != TriWhite {
+			t.Fatalf("round %d: white vertex with black neighbor became %v", i, p.State(1))
+		}
+		if !p.State(0).Black() {
+			t.Fatalf("round %d: stable black vertex became %v", i, p.State(0))
+		}
+	}
+	if !p.Stabilized() {
+		t.Fatal("configuration should be stabilized")
+	}
+}
+
+func TestThreeStateDeterminism(t *testing.T) {
+	g := graph.Gnp(90, 0.06, xrand.New(23))
+	a := NewThreeState(g, WithSeed(77))
+	b := NewThreeState(g, WithSeed(77))
+	ra, rb := Run(a, 10000), Run(b, 10000)
+	if ra != rb {
+		t.Fatalf("nondeterministic: %+v vs %+v", ra, rb)
+	}
+}
+
+func TestThreeStateCorruptionRecovery(t *testing.T) {
+	g := graph.Gnp(100, 0.07, xrand.New(24))
+	p := NewThreeState(g, WithSeed(11))
+	Run(p, 10000)
+	requireMIS(t, g, p)
+	for u := 0; u < 15; u++ {
+		p.Corrupt(u, TriBlack1)
+	}
+	Run(p, 10000)
+	requireMIS(t, g, p)
+}
+
+func TestThreeStateMetadata(t *testing.T) {
+	p := NewThreeState(graph.Path(3))
+	if p.States() != 3 || p.Name() != "3-state" || p.N() != 3 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestTriStateString(t *testing.T) {
+	if TriWhite.String() != "white" || TriBlack0.String() != "black0" ||
+		TriBlack1.String() != "black1" || TriState(9).String() == "" {
+		t.Fatal("TriState.String wrong")
+	}
+	if TriWhite.Black() || !TriBlack0.Black() || !TriBlack1.Black() {
+		t.Fatal("TriState.Black wrong")
+	}
+}
+
+// Property: 3-state stabilization always yields an MIS.
+func TestThreeStateMISProperty(t *testing.T) {
+	master := xrand.New(25)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		n := 2 + r.Intn(80)
+		g := graph.Gnp(n, r.Float64()*0.3, r)
+		p := NewThreeState(g, WithSeed(seed))
+		Run(p, DefaultRoundCap(n))
+		return p.Stabilized() && verify.MIS(g, p.Black) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Remark 10: on K_n the 3-state process is O(log n) w.h.p. — in particular
+// its worst observed time over trials should be well below the 2-state
+// process's Θ(log² n) tail behaviour. Loose smoke check of the mean.
+func TestThreeStateCliqueFast(t *testing.T) {
+	const n, trials = 256, 30
+	sum := 0
+	for s := uint64(0); s < trials; s++ {
+		res := Run(NewThreeState(graph.Complete(n), WithSeed(s)), 100000)
+		if !res.Stabilized {
+			t.Fatal("did not stabilize")
+		}
+		sum += res.Rounds
+	}
+	if mean := float64(sum) / trials; mean > 10*8 {
+		t.Fatalf("3-state K_%d mean %.1f rounds, too high", n, mean)
+	}
+}

@@ -1,0 +1,262 @@
+package mis
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// TwoState is the paper's 2-state MIS process (Definition 4). Each vertex is
+// black or white; in every round, each active vertex — black with a black
+// neighbor, or white with no black neighbor — resets to a uniformly random
+// color. The process has stabilized exactly when no vertex is active, at
+// which point the black set is an MIS.
+//
+// The simulator maintains the number of black neighbors of every vertex
+// incrementally: a round costs O(n + Σ_{flipped u} deg(u)). Complete graphs
+// take a fast path using the global black count, making K_n rounds O(n).
+type TwoState struct {
+	g         *graph.Graph
+	complete  bool
+	black     []bool
+	nbrBlack  []int32 // number of black neighbors (unused on the fast path)
+	blackCnt  int
+	rngs      []*xrand.Rand
+	opts      options
+	round     int
+	bits      int64
+	activeCnt int
+	// scratch buffers reused across rounds
+	actives []int32
+	flips   []int32
+	// lt records per-vertex stabilization rounds when WithLocalTimes is set.
+	lt *localTimes
+}
+
+var _ Process = (*TwoState)(nil)
+
+// NewTwoState creates a 2-state process on g. See Option for configuration;
+// by default the initial states are uniformly random with master seed 1.
+func NewTwoState(g *graph.Graph, opts ...Option) *TwoState {
+	o := buildOptions(opts)
+	master := xrand.New(o.seed)
+	n := g.N()
+	p := &TwoState{
+		g:        g,
+		complete: n >= 2 && g.M() == n*(n-1)/2,
+		black:    initialBlackMask(g, o, initStream(n, master)),
+		nbrBlack: make([]int32, n),
+		rngs:     splitVertexStreams(n, master),
+		opts:     o,
+	}
+	if o.trackLocal {
+		p.lt = newLocalTimes(n)
+	}
+	p.recount()
+	p.recordLocal()
+	return p
+}
+
+// inI reports "black with no black neighbor" (membership in I_t).
+func (p *TwoState) inI(u int) bool {
+	return p.black[u] && p.blackNeighbors(u) == 0
+}
+
+func (p *TwoState) recordLocal() {
+	if p.lt != nil {
+		p.lt.record(p.g, p.round, p.inI)
+	}
+}
+
+// StabilizationTimes returns the per-vertex stabilization rounds recorded
+// so far (-1 = not yet stable); nil unless WithLocalTimes was set.
+func (p *TwoState) StabilizationTimes() []int {
+	if p.lt == nil {
+		return nil
+	}
+	return p.lt.times()
+}
+
+// recount rebuilds the derived counters from the black mask; used after
+// construction and after external corruption.
+func (p *TwoState) recount() {
+	p.blackCnt = 0
+	for u := range p.nbrBlack {
+		p.nbrBlack[u] = 0
+	}
+	for u, b := range p.black {
+		if !b {
+			continue
+		}
+		p.blackCnt++
+		if !p.complete {
+			for _, v := range p.g.Neighbors(u) {
+				p.nbrBlack[v]++
+			}
+		}
+	}
+	p.activeCnt = p.countActive()
+}
+
+func (p *TwoState) blackNeighbors(u int) int32 {
+	if p.complete {
+		c := int32(p.blackCnt)
+		if p.black[u] {
+			c--
+		}
+		return c
+	}
+	return p.nbrBlack[u]
+}
+
+// active reports the paper's activity predicate for u under current state.
+func (p *TwoState) active(u int) bool {
+	if p.black[u] {
+		return p.blackNeighbors(u) > 0
+	}
+	return p.blackNeighbors(u) == 0
+}
+
+func (p *TwoState) countActive() int {
+	c := 0
+	for u := range p.black {
+		if p.active(u) {
+			c++
+		}
+	}
+	return c
+}
+
+// Name implements Process.
+func (p *TwoState) Name() string { return "2-state" }
+
+// N implements Process.
+func (p *TwoState) N() int { return p.g.N() }
+
+// Round implements Process.
+func (p *TwoState) Round() int { return p.round }
+
+// States implements Process.
+func (p *TwoState) States() int { return 2 }
+
+// RandomBits implements Process.
+func (p *TwoState) RandomBits() int64 { return p.bits }
+
+// ActiveCount implements Process.
+func (p *TwoState) ActiveCount() int { return p.activeCnt }
+
+// Black implements Process.
+func (p *TwoState) Black(u int) bool { return p.black[u] }
+
+// Stabilized implements Process. For the 2-state process, "no active vertex"
+// is equivalent to "every vertex stable" (the black set is then an MIS).
+func (p *TwoState) Stabilized() bool { return p.activeCnt == 0 }
+
+// Graph returns the underlying graph.
+func (p *TwoState) Graph() *graph.Graph { return p.g }
+
+// Step implements Process: one synchronous round of Definition 4.
+func (p *TwoState) Step() {
+	if p.opts.workers > 1 {
+		p.stepParallel()
+		return
+	}
+	if p.activeCnt == 0 {
+		return
+	}
+	p.actives = p.actives[:0]
+	for u := range p.black {
+		if p.active(u) {
+			p.actives = append(p.actives, int32(u))
+		}
+	}
+	// Draw all coins against the pre-round state, then commit flips.
+	p.flips = p.flips[:0]
+	for _, u := range p.actives {
+		coinBlack, cost := p.opts.coin(p.rngs[u])
+		p.bits += cost
+		if coinBlack != p.black[u] {
+			p.flips = append(p.flips, u)
+		}
+	}
+	for _, u := range p.flips {
+		nowBlack := !p.black[u]
+		p.black[u] = nowBlack
+		delta := int32(1)
+		if !nowBlack {
+			delta = -1
+		}
+		p.blackCnt += int(delta)
+		if !p.complete {
+			for _, v := range p.g.Neighbors(int(u)) {
+				p.nbrBlack[v] += delta
+			}
+		}
+	}
+	p.round++
+	p.activeCnt = p.countActive()
+	p.recordLocal()
+}
+
+// Corrupt overwrites the color of vertex u mid-run (fault injection) and
+// rebuilds the derived counters. The per-vertex random streams are not
+// touched, so a corrupted run remains deterministic.
+func (p *TwoState) Corrupt(u int, black bool) {
+	p.black[u] = black
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+// CorruptAll applies an arbitrary new color vector (fault injection).
+func (p *TwoState) CorruptAll(black []bool) {
+	if len(black) != len(p.black) {
+		panic("mis: CorruptAll mask length mismatch")
+	}
+	copy(p.black, black)
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+// Rebind switches the process to a new graph on the same vertex set,
+// keeping all vertex states — the topology-churn scenario: links changed,
+// nodes kept their one bit of state, and self-stabilization must absorb the
+// difference. It panics if the new graph has a different order.
+func (p *TwoState) Rebind(g *graph.Graph) {
+	if g.N() != p.g.N() {
+		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
+	}
+	p.g = g
+	n := g.N()
+	p.complete = n >= 2 && g.M() == n*(n-1)/2
+	p.recount()
+	if p.lt != nil {
+		p.lt.reset()
+		p.recordLocal()
+	}
+}
+
+// BlackMask returns a copy of the current color vector.
+func (p *TwoState) BlackMask() []bool {
+	return append([]bool(nil), p.black...)
+}
+
+// StableBlackCount returns |I_t|: black vertices with no black neighbor.
+func (p *TwoState) StableBlackCount() int {
+	c := 0
+	for u, b := range p.black {
+		if b && p.blackNeighbors(u) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// BlackCount returns |B_t|.
+func (p *TwoState) BlackCount() int { return p.blackCnt }

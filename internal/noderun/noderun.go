@@ -1,0 +1,215 @@
+// Package noderun is the distributed execution substrate: it runs one
+// long-lived goroutine per graph vertex and advances them in synchronous
+// rounds through a broadcast medium, the way the beeping and stone age
+// models define computation. Node programs only ever see their own state,
+// their own random stream, and the per-channel feedback from the medium —
+// they have no access to the graph, to other nodes, or to global
+// information, which is exactly the locality discipline the paper's
+// algorithms claim.
+//
+// A round proceeds in two phases, separated by barriers:
+//
+//  1. every node emits a set of beep channels (possibly empty);
+//  2. the medium ORs each channel over each node's neighborhood and delivers
+//     the resulting feedback mask, upon which the node updates its state.
+//
+// The medium enforces the communication model's constraints: the beeping
+// model allows a single channel and, without sender collision detection,
+// masks a beeping node's own feedback; the stone age model allows a constant
+// number of channels with at most one beep per node per round.
+package noderun
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ssmis/internal/graph"
+)
+
+// Program is a per-node protocol state machine. Implementations must not
+// share mutable state across nodes: the engine calls Emit and Deliver from
+// the node's own goroutine.
+type Program interface {
+	// Emit returns the bitmask of channels this node beeps on this round.
+	Emit() uint32
+	// Deliver hands the node the feedback mask for the round — bit c set iff
+	// at least one neighbor beeped on channel c, after model masking — and
+	// the node updates its state.
+	Deliver(heard uint32)
+}
+
+// Model describes the communication-model constraints the medium enforces.
+type Model struct {
+	// Name for error messages and reports, e.g. "beeping-cd".
+	Name string
+	// Channels is the number of usable channels (1 for beeping).
+	Channels int
+	// MaxBeepsPerNode bounds how many channels one node may use in a round
+	// (1 in both the beeping and stone age models; 0 means unlimited).
+	MaxBeepsPerNode int
+	// SenderCollisionDetection: when false, a node that beeped on channel c
+	// does not hear channel c that round (classic beeping); when true, the
+	// full-duplex model of the paper's 2-state process.
+	SenderCollisionDetection bool
+}
+
+// BeepingCD is the beeping model with sender collision detection
+// (full-duplex), the model of the paper's 2-state process.
+func BeepingCD() Model {
+	return Model{Name: "beeping-cd", Channels: 1, MaxBeepsPerNode: 1, SenderCollisionDetection: true}
+}
+
+// BeepingNoCD is the classic beeping model without collision detection.
+func BeepingNoCD() Model {
+	return Model{Name: "beeping", Channels: 1, MaxBeepsPerNode: 1, SenderCollisionDetection: false}
+}
+
+// StoneAge is the synchronous stone age model: a constant number of beep
+// channels, at most one beep per node per round, and message reception
+// independent of own transmission (so no collision-detection issue arises).
+func StoneAge(channels int) Model {
+	return Model{Name: "stone-age", Channels: channels, MaxBeepsPerNode: 1, SenderCollisionDetection: true}
+}
+
+// phase is a command sent to node goroutines.
+type phase uint8
+
+const (
+	phaseEmit phase = iota + 1
+	phaseDeliver
+)
+
+// Engine drives the node programs over a graph under a model. Create with
+// NewEngine and release the node goroutines with Close.
+type Engine struct {
+	g     *graph.Graph
+	model Model
+	progs []Program
+	round int
+
+	emits []uint32
+	heard []uint32
+
+	cmd  []chan phase
+	done chan struct{}
+}
+
+// NewEngine creates an engine and starts one goroutine per vertex. progs[u]
+// is vertex u's program; len(progs) must equal g.N(). Callers must Close the
+// engine to stop the goroutines.
+func NewEngine(g *graph.Graph, model Model, progs []Program) *Engine {
+	if len(progs) != g.N() {
+		panic(fmt.Sprintf("noderun: %d programs for %d vertices", len(progs), g.N()))
+	}
+	if model.Channels < 1 || model.Channels > 32 {
+		panic(fmt.Sprintf("noderun: channels %d out of [1,32]", model.Channels))
+	}
+	n := g.N()
+	e := &Engine{
+		g:     g,
+		model: model,
+		progs: progs,
+		emits: make([]uint32, n),
+		heard: make([]uint32, n),
+		cmd:   make([]chan phase, n),
+		done:  make(chan struct{}, n),
+	}
+	for u := 0; u < n; u++ {
+		e.cmd[u] = make(chan phase, 1)
+		go e.nodeLoop(u, e.cmd[u])
+	}
+	return e
+}
+
+// nodeLoop is the per-node goroutine: it executes phase commands until its
+// command channel is closed. Writes to e.emits[u] are synchronized by the
+// barrier protocol (the coordinator only reads them after all done signals).
+func (e *Engine) nodeLoop(u int, cmd <-chan phase) {
+	for ph := range cmd {
+		switch ph {
+		case phaseEmit:
+			e.emits[u] = e.progs[u].Emit()
+		case phaseDeliver:
+			e.progs[u].Deliver(e.heard[u])
+		}
+		e.done <- struct{}{}
+	}
+}
+
+// broadcast sends a phase command to every node and waits for all of them to
+// finish it — a synchronous-round barrier.
+func (e *Engine) broadcast(ph phase) {
+	for _, c := range e.cmd {
+		c <- ph
+	}
+	for range e.cmd {
+		<-e.done
+	}
+}
+
+// Close stops all node goroutines. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	for _, c := range e.cmd {
+		close(c)
+	}
+	e.cmd = nil
+}
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Model returns the communication model the medium enforces.
+func (e *Engine) Model() Model { return e.model }
+
+// Program returns vertex u's program, for inspection between rounds (all
+// node goroutines are quiescent then).
+func (e *Engine) Program(u int) Program { return e.progs[u] }
+
+// Step executes one synchronous round. It panics if a program violates the
+// model's beep constraints — protocol bugs, not runtime conditions.
+func (e *Engine) Step() {
+	n := e.g.N()
+	chanMask := uint32(1)<<uint(e.model.Channels) - 1
+
+	e.broadcast(phaseEmit)
+	for u := 0; u < n; u++ {
+		m := e.emits[u]
+		if m&^chanMask != 0 {
+			panic(fmt.Sprintf("noderun: node %d beeped outside the %d-channel alphabet (%s model)",
+				u, e.model.Channels, e.model.Name))
+		}
+		if e.model.MaxBeepsPerNode > 0 && bits.OnesCount32(m) > e.model.MaxBeepsPerNode {
+			panic(fmt.Sprintf("noderun: node %d beeped on %d channels, max %d (%s model)",
+				u, bits.OnesCount32(m), e.model.MaxBeepsPerNode, e.model.Name))
+		}
+	}
+
+	// The medium: per-node OR over the neighborhood.
+	for u := 0; u < n; u++ {
+		var h uint32
+		for _, v := range e.g.Neighbors(u) {
+			h |= e.emits[v]
+		}
+		if !e.model.SenderCollisionDetection {
+			// A beeping radio cannot listen on the channel it transmits on.
+			h &^= e.emits[u]
+		}
+		e.heard[u] = h
+	}
+
+	e.broadcast(phaseDeliver)
+	e.round++
+}
+
+// RunUntil advances the engine until stop returns true (checked between
+// rounds, when all node goroutines are quiescent) or maxRounds elapse.
+// It returns the number of rounds executed and whether stop fired.
+func (e *Engine) RunUntil(maxRounds int, stop func() bool) (rounds int, stopped bool) {
+	for e.round < maxRounds {
+		if stop() {
+			return e.round, true
+		}
+		e.Step()
+	}
+	return e.round, stop()
+}

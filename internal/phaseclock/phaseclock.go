@@ -1,0 +1,210 @@
+// Package phaseclock implements the randomized phase-clock machinery the
+// paper builds its logarithmic switch on.
+//
+// The generalized clock (RandPhase of Emek and Keren, PODC 2021 [12]) has
+// per-vertex levels {0, 1, ..., D+2} updated in synchronous rounds:
+//
+//	if level(u) = D+2: draw a bit that is 0 with probability ζ
+//	if (level(u) = D+2 and the bit is 1) or level(u) = 0: level'(u) = D+2
+//	else:                                 level'(u) = max over N+(u) of level − 1
+//
+// The paper's randomized logarithmic switch (Definition 26) is exactly the
+// D = 3 instance (6 states, levels 0..5) with the on/off mapping
+// σ(u) = on iff level(u) ≤ 2, and parameter ζ = 2^-7 (so a = 4/ζ = 512).
+// Unlike RandPhase, the switch is used as a local, non-synchronized counter:
+// the paper only needs properties (S1)–(S3) of Definition 25.
+package phaseclock
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// DefaultZetaLog2 is the paper's switch parameter: ζ = 2^-7, giving
+// a = 4/ζ = 512 in Definition 28.
+const DefaultZetaLog2 = 7
+
+// SwitchA is the paper's a parameter of the (a,3)-logarithmic switch.
+const SwitchA = 512
+
+// Clock is a randomized phase clock over a graph. It is driven externally:
+// the owner supplies per-vertex random streams to Step, which lets the
+// 3-color MIS process interleave its color coins and switch coins
+// deterministically on a single per-vertex stream.
+type Clock struct {
+	g         *graph.Graph
+	d         int // RandPhase parameter D; levels are 0..d+2
+	zetaLog2  uint
+	onMax     uint8 // σ(u) = on iff level(u) <= onMax
+	levels    []uint8
+	next      []uint8
+	round     int
+	bits      int64
+	completeG bool // fast path: global max level suffices
+}
+
+// Option configures a Clock.
+type Option func(*Clock)
+
+// WithD sets the RandPhase parameter D (default 3, the paper's switch).
+func WithD(d int) Option {
+	return func(c *Clock) { c.d = d }
+}
+
+// WithZetaLog2 sets ζ = 2^-k (default k = 7).
+func WithZetaLog2(k uint) Option {
+	return func(c *Clock) { c.zetaLog2 = k }
+}
+
+// WithOnThreshold sets the largest level mapped to "on" (default 2).
+func WithOnThreshold(m uint8) Option {
+	return func(c *Clock) { c.onMax = m }
+}
+
+// New creates a clock with all levels zero (they jump to top on the first
+// step). Use RandomizeLevels or SetLevel for arbitrary (adversarial)
+// initialization — the process is self-stabilizing, so any initial levels
+// are legal.
+func New(g *graph.Graph, opts ...Option) *Clock {
+	c := &Clock{
+		g:        g,
+		d:        3,
+		zetaLog2: DefaultZetaLog2,
+		onMax:    2,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.d < 1 {
+		panic(fmt.Sprintf("phaseclock: D must be >= 1, got %d", c.d))
+	}
+	n := g.N()
+	c.levels = make([]uint8, n)
+	c.next = make([]uint8, n)
+	c.completeG = n >= 2 && g.M() == n*(n-1)/2
+	return c
+}
+
+// Rebind switches the clock to a new graph on the same vertex set, keeping
+// all levels (topology churn). It panics on order mismatch.
+func (c *Clock) Rebind(g *graph.Graph) {
+	if g.N() != c.g.N() {
+		panic(fmt.Sprintf("phaseclock: Rebind to order %d != %d", g.N(), c.g.N()))
+	}
+	c.g = g
+	n := g.N()
+	c.completeG = n >= 2 && g.M() == n*(n-1)/2
+}
+
+// Top returns the highest level, D+2.
+func (c *Clock) Top() uint8 { return uint8(c.d + 2) }
+
+// States returns the number of per-vertex states, D+3.
+func (c *Clock) States() int { return c.d + 3 }
+
+// Round returns the number of completed steps.
+func (c *Clock) Round() int { return c.round }
+
+// RandomBits returns the total random bits consumed so far (a ζ = 2^-k coin
+// costs k bits).
+func (c *Clock) RandomBits() int64 { return c.bits }
+
+// SetRandomBits overwrites the bit accounting; used when restoring a clock
+// from a checkpoint.
+func (c *Clock) SetRandomBits(bits int64) { c.bits = bits }
+
+// Level returns the current level of u.
+func (c *Clock) Level(u int) uint8 { return c.levels[u] }
+
+// SetLevel overwrites the level of u (adversarial initialization /
+// corruption). It panics if the level exceeds Top.
+func (c *Clock) SetLevel(u int, level uint8) {
+	if level > c.Top() {
+		panic(fmt.Sprintf("phaseclock: level %d > top %d", level, c.Top()))
+	}
+	c.levels[u] = level
+}
+
+// RandomizeLevels sets every level to an independent uniform value in
+// [0, Top], the "arbitrary initial state" of a self-stabilization adversary.
+func (c *Clock) RandomizeLevels(rng *xrand.Rand) {
+	for u := range c.levels {
+		c.levels[u] = uint8(rng.Intn(int(c.Top()) + 1))
+	}
+}
+
+// On reports the switch value of u: on iff level(u) <= onMax.
+func (c *Clock) On(u int) bool { return c.levels[u] <= c.onMax }
+
+// Step advances the clock one synchronous round. rngAt(u) must return the
+// random stream of vertex u; it is consulted only for vertices at the top
+// level, in increasing vertex order.
+func (c *Clock) Step(rngAt func(u int) *xrand.Rand) {
+	top := c.Top()
+	var globalMax uint8
+	if c.completeG {
+		for _, l := range c.levels {
+			if l > globalMax {
+				globalMax = l
+			}
+		}
+	}
+	for u := range c.levels {
+		l := c.levels[u]
+		stayTop := false
+		if l == top {
+			// The bit is 0 with probability ζ; on 1 the vertex stays at top.
+			leave := rngAt(u).BernoulliPow2(c.zetaLog2)
+			c.bits += int64(c.zetaLog2)
+			stayTop = !leave
+		}
+		switch {
+		case stayTop || l == 0:
+			c.next[u] = top
+		default:
+			m := l
+			if c.completeG {
+				if globalMax > m {
+					m = globalMax
+				}
+			} else {
+				for _, v := range c.g.Neighbors(u) {
+					if lv := c.levels[v]; lv > m {
+						m = lv
+					}
+				}
+			}
+			c.next[u] = m - 1
+		}
+	}
+	c.levels, c.next = c.next, c.levels
+	c.round++
+}
+
+// StepOwnRandom advances the clock using streams split from the given master
+// generator (stream u = master.Split(u)); convenient for standalone use.
+// The split streams are cached on first use.
+type Standalone struct {
+	*Clock
+	rngs []*xrand.Rand
+}
+
+// NewStandalone wraps a clock with its own per-vertex streams derived from
+// seed, for experiments that run the switch in isolation (E8).
+func NewStandalone(g *graph.Graph, seed uint64, opts ...Option) *Standalone {
+	c := New(g, opts...)
+	master := xrand.New(seed)
+	rngs := make([]*xrand.Rand, g.N())
+	for u := range rngs {
+		rngs[u] = master.Split(uint64(u))
+	}
+	c.RandomizeLevels(master.Split(uint64(g.N()) + 1))
+	return &Standalone{Clock: c, rngs: rngs}
+}
+
+// Step advances the standalone clock one round.
+func (s *Standalone) Step() {
+	s.Clock.Step(func(u int) *xrand.Rand { return s.rngs[u] })
+}

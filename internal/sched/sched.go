@@ -1,0 +1,257 @@
+// Package sched implements the sequential self-stabilizing MIS algorithm of
+// Shukla et al. and Hedetniemi et al. ([28, 20] in the paper) together with
+// the daemon (scheduler) models it is analyzed under. The paper presents the
+// 2-state MIS process as the randomized synchronous parallelization of this
+// algorithm, so the package exists to reproduce the surrounding claims:
+//
+//   - under a central daemon the deterministic rule stabilizes after every
+//     vertex moves at most twice (≤ 2n moves);
+//   - under the synchronous daemon the deterministic rule can livelock
+//     (two adjacent white vertices flip to black and back forever) — the
+//     reason the parallel process must randomize;
+//   - randomizing the moves restores stabilization with probability 1 under
+//     any daemon ([28], [31]), and under the synchronous daemon the result
+//     is exactly the paper's 2-state process.
+package sched
+
+import (
+	"fmt"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// Daemon selects which inconsistent ("privileged") vertices move in a step.
+type Daemon interface {
+	// Name identifies the daemon for reports.
+	Name() string
+	// Select returns the subset of privileged that moves this step.
+	// privileged is sorted and non-empty; the returned slice must be a
+	// non-empty subset of it.
+	Select(privileged []int, rng *xrand.Rand) []int
+}
+
+// CentralAdversarial moves one vertex per step, always the lowest-index
+// privileged vertex (a fixed adversarial choice).
+type CentralAdversarial struct{}
+
+// Name implements Daemon.
+func (CentralAdversarial) Name() string { return "central-adversarial" }
+
+// Select implements Daemon.
+func (CentralAdversarial) Select(privileged []int, _ *xrand.Rand) []int {
+	return privileged[:1]
+}
+
+// CentralRandom moves one uniformly random privileged vertex per step.
+type CentralRandom struct{}
+
+// Name implements Daemon.
+func (CentralRandom) Name() string { return "central-random" }
+
+// Select implements Daemon.
+func (CentralRandom) Select(privileged []int, rng *xrand.Rand) []int {
+	i := rng.Intn(len(privileged))
+	return privileged[i : i+1]
+}
+
+// Synchronous moves every privileged vertex simultaneously — the daemon
+// under which the deterministic rule livelocks and the randomized rule is
+// the paper's 2-state MIS process.
+type Synchronous struct{}
+
+// Name implements Daemon.
+func (Synchronous) Name() string { return "synchronous" }
+
+// Select implements Daemon.
+func (Synchronous) Select(privileged []int, _ *xrand.Rand) []int {
+	return privileged
+}
+
+// RoundRobin is a central daemon that cycles through vertex ids, each step
+// moving the first privileged vertex at or after the cursor — a fair
+// (non-adversarial, non-random) schedule.
+type RoundRobin struct {
+	cursor int
+}
+
+// Name implements Daemon.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Select implements Daemon.
+func (d *RoundRobin) Select(privileged []int, _ *xrand.Rand) []int {
+	for _, u := range privileged {
+		if u >= d.cursor {
+			d.cursor = u + 1
+			return []int{u}
+		}
+	}
+	// Wrap around.
+	d.cursor = privileged[0] + 1
+	return privileged[:1]
+}
+
+// DistributedRandom moves each privileged vertex independently with
+// probability half (a random distributed daemon).
+type DistributedRandom struct{}
+
+// Name implements Daemon.
+func (DistributedRandom) Name() string { return "distributed-random" }
+
+// Select implements Daemon.
+func (DistributedRandom) Select(privileged []int, rng *xrand.Rand) []int {
+	out := privileged[:0:0]
+	for _, u := range privileged {
+		if rng.Bit() {
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, privileged[rng.Intn(len(privileged))])
+	}
+	return out
+}
+
+// Sequential is the two-state self-stabilizing MIS algorithm under a daemon.
+// A vertex is privileged when its state is inconsistent — black with a black
+// neighbor, or white with no black neighbor. A selected privileged vertex
+// moves: deterministically to the consistent state (black→white,
+// white→black), or, when randomized, to a uniformly random state.
+type Sequential struct {
+	g          *graph.Graph
+	daemon     Daemon
+	randomized bool
+	black      []bool
+	nbrBlack   []int32
+	rng        *xrand.Rand
+	moves      int
+	steps      int
+}
+
+// Option configures a Sequential run.
+type Option func(*Sequential)
+
+// Randomized makes selected vertices move to a uniformly random state
+// instead of the deterministic repair — the transformation of [28, 31].
+func Randomized() Option {
+	return func(s *Sequential) { s.randomized = true }
+}
+
+// WithInitialBlack sets the (adversarial) initial configuration; the slice
+// is copied. Default: uniformly random.
+func WithInitialBlack(black []bool) Option {
+	return func(s *Sequential) { s.black = append([]bool(nil), black...) }
+}
+
+// NewSequential creates a sequential algorithm instance under the given
+// daemon with master seed seed.
+func NewSequential(g *graph.Graph, daemon Daemon, seed uint64, opts ...Option) *Sequential {
+	s := &Sequential{
+		g:        g,
+		daemon:   daemon,
+		nbrBlack: make([]int32, g.N()),
+		rng:      xrand.New(seed),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.black == nil {
+		s.black = make([]bool, g.N())
+		for u := range s.black {
+			s.black[u] = s.rng.Bit()
+		}
+	} else if len(s.black) != g.N() {
+		panic(fmt.Sprintf("sched: initial mask length %d != n %d", len(s.black), g.N()))
+	}
+	s.recount()
+	return s
+}
+
+func (s *Sequential) recount() {
+	for u := range s.nbrBlack {
+		s.nbrBlack[u] = 0
+	}
+	for u, b := range s.black {
+		if b {
+			for _, v := range s.g.Neighbors(u) {
+				s.nbrBlack[v]++
+			}
+		}
+	}
+}
+
+// privileged returns the sorted list of inconsistent vertices.
+func (s *Sequential) privileged() []int {
+	var out []int
+	for u, b := range s.black {
+		if b == (s.nbrBlack[u] > 0) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Privileged returns the current number of inconsistent vertices.
+func (s *Sequential) Privileged() int { return len(s.privileged()) }
+
+// Stabilized reports whether no vertex is privileged (the black set is then
+// an MIS).
+func (s *Sequential) Stabilized() bool { return len(s.privileged()) == 0 }
+
+// Black reports the color of u.
+func (s *Sequential) Black(u int) bool { return s.black[u] }
+
+// Moves returns the total number of vertex moves executed.
+func (s *Sequential) Moves() int { return s.moves }
+
+// Steps returns the number of daemon steps executed.
+func (s *Sequential) Steps() int { return s.steps }
+
+// Step lets the daemon select and move privileged vertices once. It returns
+// false when no vertex is privileged (stabilized).
+func (s *Sequential) Step() bool {
+	priv := s.privileged()
+	if len(priv) == 0 {
+		return false
+	}
+	selected := s.daemon.Select(priv, s.rng)
+	// All selected vertices read the current configuration, then move
+	// simultaneously (matters only for non-central daemons).
+	flips := make([]int, 0, len(selected))
+	for _, u := range selected {
+		var wantBlack bool
+		if s.randomized {
+			wantBlack = s.rng.Bit()
+		} else {
+			wantBlack = !s.black[u] // deterministic repair: flip
+		}
+		s.moves++
+		if wantBlack != s.black[u] {
+			flips = append(flips, u)
+		}
+	}
+	for _, u := range flips {
+		nowBlack := !s.black[u]
+		s.black[u] = nowBlack
+		delta := int32(1)
+		if !nowBlack {
+			delta = -1
+		}
+		for _, v := range s.g.Neighbors(u) {
+			s.nbrBlack[v] += delta
+		}
+	}
+	s.steps++
+	return true
+}
+
+// Run executes daemon steps until stabilization or maxSteps; it reports the
+// steps taken and whether the algorithm stabilized.
+func (s *Sequential) Run(maxSteps int) (steps int, stabilized bool) {
+	for s.steps < maxSteps {
+		if !s.Step() {
+			return s.steps, true
+		}
+	}
+	return s.steps, s.Stabilized()
+}

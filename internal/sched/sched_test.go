@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+func TestCentralDaemonStabilizesInTwoMovesPerVertex(t *testing.T) {
+	// The classic result for the sequential deterministic algorithm: under a
+	// central daemon it stabilizes after at most 2n moves, regardless of
+	// scheduling order.
+	rng := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Gnp(60, 0.1, rng.Split(uint64(trial)))
+		for _, d := range []Daemon{CentralAdversarial{}, CentralRandom{}, &RoundRobin{}} {
+			s := NewSequential(g, d, uint64(trial))
+			steps, ok := s.Run(10 * g.N())
+			if !ok {
+				t.Fatalf("trial %d %s: not stabilized after %d steps", trial, d.Name(), steps)
+			}
+			if s.Moves() > 2*g.N() {
+				t.Fatalf("trial %d %s: %d moves > 2n = %d", trial, d.Name(), s.Moves(), 2*g.N())
+			}
+			if err := verify.MIS(g, s.Black); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, d.Name(), err)
+			}
+		}
+	}
+}
+
+func TestSynchronousDeterministicLivelocks(t *testing.T) {
+	// Two adjacent white vertices (with no other neighbors) flip to black
+	// together, then back to white together, forever: the deterministic
+	// rule is not self-stabilizing under the synchronous daemon. This is
+	// the paper's motivation for randomizing the parallel process.
+	g := graph.Path(2)
+	s := NewSequential(g, Synchronous{}, 1, WithInitialBlack([]bool{false, false}))
+	steps, ok := s.Run(1000)
+	if ok {
+		t.Fatalf("deterministic synchronous run stabilized after %d steps; expected livelock", steps)
+	}
+	if s.Steps() != 1000 {
+		t.Fatal("livelock run ended early")
+	}
+}
+
+func TestSynchronousRandomizedStabilizes(t *testing.T) {
+	// Randomized moves break the livelock: this is exactly the 2-state MIS
+	// process and must stabilize with probability 1.
+	g := graph.Path(2)
+	s := NewSequential(g, Synchronous{}, 2, Randomized(), WithInitialBlack([]bool{false, false}))
+	_, ok := s.Run(10000)
+	if !ok {
+		t.Fatal("randomized synchronous run did not stabilize")
+	}
+	if err := verify.MIS(g, s.Black); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedStabilizesUnderAllDaemons(t *testing.T) {
+	rng := xrand.New(3)
+	daemons := []Daemon{CentralAdversarial{}, CentralRandom{}, Synchronous{}, DistributedRandom{}}
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(50, 0.1, rng.Split(uint64(trial)))
+		for _, d := range daemons {
+			s := NewSequential(g, d, uint64(trial), Randomized())
+			if _, ok := s.Run(200 * g.N()); !ok {
+				t.Fatalf("trial %d %s: randomized run did not stabilize", trial, d.Name())
+			}
+			if err := verify.MIS(g, s.Black); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, d.Name(), err)
+			}
+		}
+	}
+}
+
+func TestDeterministicDistributedRandomStabilizes(t *testing.T) {
+	// With a *random* distributed daemon even the deterministic rule
+	// stabilizes with probability 1 (singleton selections break symmetry).
+	g := graph.Cycle(9)
+	s := NewSequential(g, DistributedRandom{}, 4)
+	if _, ok := s.Run(100000); !ok {
+		t.Fatal("deterministic rule under random distributed daemon did not stabilize")
+	}
+	if err := verify.MIS(g, s.Black); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrivilegedCountsAndAccessors(t *testing.T) {
+	g := graph.Path(3)
+	// all black: 0 and 1 and 2... vertex 1 black with black nbrs, 0 and 2
+	// black with black nbr -> all privileged.
+	s := NewSequential(g, CentralAdversarial{}, 5, WithInitialBlack([]bool{true, true, true}))
+	if s.Privileged() != 3 {
+		t.Fatalf("Privileged = %d, want 3", s.Privileged())
+	}
+	if s.Stabilized() {
+		t.Fatal("all-black path reported stabilized")
+	}
+	if !s.Black(0) {
+		t.Fatal("Black accessor wrong")
+	}
+	s.Step()
+	if s.Steps() != 1 || s.Moves() != 1 {
+		t.Fatalf("Steps=%d Moves=%d after one central step", s.Steps(), s.Moves())
+	}
+}
+
+func TestStepOnStabilizedReturnsFalse(t *testing.T) {
+	g := graph.Path(2)
+	s := NewSequential(g, CentralAdversarial{}, 6, WithInitialBlack([]bool{true, false}))
+	if !s.Stabilized() {
+		t.Fatal("MIS configuration not stabilized")
+	}
+	if s.Step() {
+		t.Fatal("Step on stabilized instance reported a move")
+	}
+}
+
+func TestInitialMaskValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong mask length")
+		}
+	}()
+	NewSequential(graph.Path(3), Synchronous{}, 1, WithInitialBlack([]bool{true}))
+}
+
+func TestDaemonNames(t *testing.T) {
+	for _, d := range []Daemon{CentralAdversarial{}, CentralRandom{}, Synchronous{}, DistributedRandom{}, &RoundRobin{}} {
+		if d.Name() == "" {
+			t.Fatal("empty daemon name")
+		}
+	}
+}
+
+func TestRoundRobinCyclesFairly(t *testing.T) {
+	// On an all-black clique every vertex is privileged; round robin must
+	// visit them in cyclic id order.
+	g := graph.Complete(5)
+	s := NewSequential(g, &RoundRobin{}, 1,
+		WithInitialBlack([]bool{true, true, true, true, true}))
+	var visited []int
+	for i := 0; i < 4 && !s.Stabilized(); i++ {
+		before := make([]bool, 5)
+		for u := 0; u < 5; u++ {
+			before[u] = s.Black(u)
+		}
+		s.Step()
+		for u := 0; u < 5; u++ {
+			if s.Black(u) != before[u] {
+				visited = append(visited, u)
+			}
+		}
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] <= visited[i-1] {
+			t.Fatalf("round robin out of order: %v", visited)
+		}
+	}
+}

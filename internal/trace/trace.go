@@ -1,0 +1,127 @@
+// Package trace records process executions and renders them as ASCII, for
+// the examples, the misviz tool, and debugging. A trace stores the color
+// projection of every vertex at every recorded round; the renderer prints
+// one row per round with one glyph per vertex, which makes symmetry breaking
+// visible at a glance on paths, cycles and small random graphs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ssmis/internal/mis"
+)
+
+// colorReader is the optional richer projection for 3-color processes.
+type colorReader interface {
+	ColorOf(u int) mis.Color
+}
+
+// triReader is the optional richer projection for 3-state processes.
+type triReader interface {
+	State(u int) mis.TriState
+}
+
+// Glyphs used by the renderer.
+const (
+	GlyphBlack  = '#'
+	GlyphWhite  = '.'
+	GlyphGray   = 'o'
+	GlyphBlack0 = 'b'
+)
+
+// Frame is the recorded state of one round.
+type Frame struct {
+	Round  int
+	Glyphs []rune
+	Active int
+}
+
+// Trace is a recorded execution.
+type Trace struct {
+	Name   string
+	Frames []Frame
+}
+
+// Capture snapshots the current state of p as a frame.
+func Capture(p mis.Process) Frame {
+	n := p.N()
+	f := Frame{Round: p.Round(), Glyphs: make([]rune, n), Active: p.ActiveCount()}
+	for u := 0; u < n; u++ {
+		f.Glyphs[u] = glyphFor(p, u)
+	}
+	return f
+}
+
+func glyphFor(p mis.Process, u int) rune {
+	if cr, ok := p.(colorReader); ok {
+		switch cr.ColorOf(u) {
+		case mis.ColorBlack:
+			return GlyphBlack
+		case mis.ColorGray:
+			return GlyphGray
+		default:
+			return GlyphWhite
+		}
+	}
+	if tr, ok := p.(triReader); ok {
+		switch tr.State(u) {
+		case mis.TriBlack1:
+			return GlyphBlack
+		case mis.TriBlack0:
+			return GlyphBlack0
+		default:
+			return GlyphWhite
+		}
+	}
+	if p.Black(u) {
+		return GlyphBlack
+	}
+	return GlyphWhite
+}
+
+// Record runs p to stabilization (or maxRounds), capturing every round.
+func Record(p mis.Process, maxRounds int) *Trace {
+	t := &Trace{Name: p.Name()}
+	t.Frames = append(t.Frames, Capture(p))
+	for !p.Stabilized() && p.Round() < maxRounds {
+		p.Step()
+		t.Frames = append(t.Frames, Capture(p))
+	}
+	return t
+}
+
+// Render prints the trace as one line per round. Wide graphs are truncated
+// at maxWidth glyphs (0 = no truncation).
+func (t *Trace) Render(maxWidth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s process, %d rounds (legend: %c black, %c white, %c gray, %c black0)\n",
+		t.Name, len(t.Frames)-1, GlyphBlack, GlyphWhite, GlyphGray, GlyphBlack0)
+	for _, f := range t.Frames {
+		glyphs := f.Glyphs
+		truncated := ""
+		if maxWidth > 0 && len(glyphs) > maxWidth {
+			glyphs = glyphs[:maxWidth]
+			truncated = "…"
+		}
+		fmt.Fprintf(&b, "r%-4d %s%s  active=%d\n", f.Round, string(glyphs), truncated, f.Active)
+	}
+	return b.String()
+}
+
+// RenderGrid renders the final frame as a rows×cols grid (for grid graphs).
+func (t *Trace) RenderGrid(rows, cols int) string {
+	if len(t.Frames) == 0 {
+		return ""
+	}
+	last := t.Frames[len(t.Frames)-1]
+	if rows*cols != len(last.Glyphs) {
+		return fmt.Sprintf("trace: %d glyphs do not form a %dx%d grid", len(last.Glyphs), rows, cols)
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		b.WriteString(string(last.Glyphs[r*cols : (r+1)*cols]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+)
+
+func TestRecordAndRender(t *testing.T) {
+	g := graph.Path(12)
+	p := mis.NewTwoState(g, mis.WithSeed(1))
+	tr := Record(p, 10000)
+	if len(tr.Frames) < 1 {
+		t.Fatal("no frames")
+	}
+	last := tr.Frames[len(tr.Frames)-1]
+	if last.Active != 0 {
+		t.Fatal("last frame not stabilized")
+	}
+	out := tr.Render(0)
+	if !strings.Contains(out, "2-state") || !strings.Contains(out, "r0") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	// Every frame line must contain exactly n glyphs of the legend set.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("bad frame line %q", line)
+		}
+		glyphs := fields[1]
+		if len([]rune(glyphs)) != g.N() {
+			t.Fatalf("frame line has %d glyphs, want %d: %q", len(glyphs), g.N(), line)
+		}
+	}
+}
+
+func TestRenderTruncation(t *testing.T) {
+	g := graph.Path(50)
+	p := mis.NewTwoState(g, mis.WithSeed(2))
+	tr := Record(p, 10000)
+	out := tr.Render(10)
+	if !strings.Contains(out, "…") {
+		t.Fatal("wide trace not truncated")
+	}
+}
+
+func TestGlyphsForThreeState(t *testing.T) {
+	g := graph.Empty(2)
+	p := mis.NewThreeState(g, mis.WithSeed(3))
+	f := Capture(p)
+	for _, glyph := range f.Glyphs {
+		switch glyph {
+		case GlyphBlack, GlyphBlack0, GlyphWhite:
+		default:
+			t.Fatalf("unexpected 3-state glyph %c", glyph)
+		}
+	}
+}
+
+func TestGlyphsForThreeColor(t *testing.T) {
+	g := graph.Empty(3)
+	p := mis.NewThreeColor(g, mis.WithSeed(4))
+	f := Capture(p)
+	for _, glyph := range f.Glyphs {
+		switch glyph {
+		case GlyphBlack, GlyphGray, GlyphWhite:
+		default:
+			t.Fatalf("unexpected 3-color glyph %c", glyph)
+		}
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	g := graph.Grid(3, 4)
+	p := mis.NewTwoState(g, mis.WithSeed(5))
+	tr := Record(p, 10000)
+	out := tr.RenderGrid(3, 4)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("grid render has %d rows, want 3:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if len([]rune(line)) != 4 {
+			t.Fatalf("grid row %q has wrong width", line)
+		}
+	}
+	if bad := tr.RenderGrid(5, 5); !strings.Contains(bad, "do not form") {
+		t.Fatal("mismatched grid dimensions not reported")
+	}
+}

@@ -1,0 +1,139 @@
+// Package verify provides validity checkers for the configurations the MIS
+// processes produce: independence, maximality (domination), and the paper's
+// stability notions. Every experiment run and most tests end with one of
+// these checks, so they are written to return rich errors identifying the
+// first violated constraint.
+package verify
+
+import (
+	"fmt"
+
+	"ssmis/internal/bitset"
+	"ssmis/internal/graph"
+)
+
+// Independent reports whether no two vertices of the set (given as a mask
+// over g's vertices) are adjacent, returning the first offending edge
+// otherwise.
+func Independent(g *graph.Graph, inSet func(u int) bool) error {
+	for u := 0; u < g.N(); u++ {
+		if !inSet(u) {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && inSet(int(v)) {
+				return fmt.Errorf("verify: independence violated by edge {%d,%d}", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Maximal reports whether every vertex outside the set has a neighbor inside
+// it (the set is dominating), returning the first uncovered vertex otherwise.
+// Together with Independent this certifies an MIS.
+func Maximal(g *graph.Graph, inSet func(u int) bool) error {
+	for u := 0; u < g.N(); u++ {
+		if inSet(u) {
+			continue
+		}
+		covered := false
+		for _, v := range g.Neighbors(u) {
+			if inSet(int(v)) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("verify: maximality violated at vertex %d (no neighbor in set)", u)
+		}
+	}
+	return nil
+}
+
+// MIS reports whether the set is a maximal independent set of g.
+func MIS(g *graph.Graph, inSet func(u int) bool) error {
+	if err := Independent(g, inSet); err != nil {
+		return err
+	}
+	return Maximal(g, inSet)
+}
+
+// MISSet is MIS for a bitset-represented vertex set.
+func MISSet(g *graph.Graph, s *bitset.Set) error {
+	if s.Len() != g.N() {
+		return fmt.Errorf("verify: set capacity %d != graph order %d", s.Len(), g.N())
+	}
+	return MIS(g, s.Contains)
+}
+
+// MISBools is MIS for a []bool-represented vertex set.
+func MISBools(g *graph.Graph, s []bool) error {
+	if len(s) != g.N() {
+		return fmt.Errorf("verify: mask length %d != graph order %d", len(s), g.N())
+	}
+	return MIS(g, func(u int) bool { return s[u] })
+}
+
+// StableBlack returns the set I of vertices that are black with no black
+// neighbor — the paper's monotone core of stable vertices (I_t).
+func StableBlack(g *graph.Graph, black func(u int) bool) *bitset.Set {
+	out := bitset.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		if !black(u) {
+			continue
+		}
+		hasBlackNbr := false
+		for _, v := range g.Neighbors(u) {
+			if black(int(v)) {
+				hasBlackNbr = true
+				break
+			}
+		}
+		if !hasBlackNbr {
+			out.Add(u)
+		}
+	}
+	return out
+}
+
+// Unstable returns V_t = V \ N+(I_t): the vertices that are neither stable
+// black nor adjacent to a stable black vertex.
+func Unstable(g *graph.Graph, black func(u int) bool) *bitset.Set {
+	stable := StableBlack(g, black)
+	out := bitset.New(g.N())
+	out.Fill()
+	stable.ForEach(func(u int) {
+		out.Remove(u)
+		for _, v := range g.Neighbors(u) {
+			out.Remove(int(v))
+		}
+	})
+	return out
+}
+
+// CheckGreedyMISCompatible verifies that a set claimed to be the greedy MIS
+// over a given vertex order really is: processing vertices in order, a
+// vertex is in the set iff none of its earlier neighbors is.
+func CheckGreedyMISCompatible(g *graph.Graph, order []int, inSet func(u int) bool) error {
+	if len(order) != g.N() {
+		return fmt.Errorf("verify: order length %d != n %d", len(order), g.N())
+	}
+	pos := make([]int, g.N())
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, u := range order {
+		expect := true
+		for _, v := range g.Neighbors(u) {
+			if pos[v] < pos[u] && inSet(int(v)) {
+				expect = false
+				break
+			}
+		}
+		if expect != inSet(u) {
+			return fmt.Errorf("verify: vertex %d greedy-inconsistent (want in-set=%v)", u, expect)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package verify
+
+import (
+	"testing"
+
+	"ssmis/internal/bitset"
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+func mask(vals ...int) func(int) bool {
+	m := map[int]bool{}
+	for _, v := range vals {
+		m[v] = true
+	}
+	return func(u int) bool { return m[u] }
+}
+
+func TestIndependent(t *testing.T) {
+	g := graph.Path(5) // 0-1-2-3-4
+	if err := Independent(g, mask(0, 2, 4)); err != nil {
+		t.Fatalf("alternating set on path flagged: %v", err)
+	}
+	if err := Independent(g, mask(1, 2)); err == nil {
+		t.Fatal("adjacent pair not flagged")
+	}
+	if err := Independent(g, mask()); err != nil {
+		t.Fatal("empty set flagged")
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	g := graph.Path(5)
+	if err := Maximal(g, mask(0, 2, 4)); err != nil {
+		t.Fatalf("maximal set flagged: %v", err)
+	}
+	if err := Maximal(g, mask(0)); err == nil {
+		t.Fatal("non-dominating set not flagged")
+	}
+	// {1,3} is dominating on the path 0-1-2-3-4.
+	if err := Maximal(g, mask(1, 3)); err != nil {
+		t.Fatalf("dominating set flagged: %v", err)
+	}
+}
+
+func TestMIS(t *testing.T) {
+	g := graph.Cycle(6)
+	if err := MIS(g, mask(0, 2, 4)); err != nil {
+		t.Fatalf("valid MIS flagged: %v", err)
+	}
+	if err := MIS(g, mask(0, 3)); err != nil {
+		t.Fatalf("valid 2-element MIS on C6 flagged: %v", err)
+	}
+	if err := MIS(g, mask(0, 1)); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := MIS(g, mask(0)); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+}
+
+func TestMISSetAndBools(t *testing.T) {
+	g := graph.Complete(4)
+	s := bitset.New(4)
+	s.Add(2)
+	if err := MISSet(g, s); err != nil {
+		t.Fatalf("singleton in clique flagged: %v", err)
+	}
+	if err := MISSet(g, bitset.New(5)); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := MISBools(g, []bool{false, true, false, false}); err != nil {
+		t.Fatalf("bools MIS flagged: %v", err)
+	}
+	if err := MISBools(g, []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestStableBlackAndUnstable(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	// black = {0, 1}: both have black neighbors -> no stable black.
+	sb := StableBlack(g, mask(0, 1))
+	if !sb.Empty() {
+		t.Fatalf("StableBlack = %v, want empty", sb)
+	}
+	un := Unstable(g, mask(0, 1))
+	if un.Count() != 4 {
+		t.Fatalf("all vertices should be unstable, got %v", un)
+	}
+	// black = {0, 3}: both stable; N+({0,3}) = {0,1,2,3}.
+	sb2 := StableBlack(g, mask(0, 3))
+	if sb2.Count() != 2 || !sb2.Contains(0) || !sb2.Contains(3) {
+		t.Fatalf("StableBlack = %v", sb2)
+	}
+	if un2 := Unstable(g, mask(0, 3)); !un2.Empty() {
+		t.Fatalf("Unstable = %v, want empty", un2)
+	}
+	// black = {0}: vertex 3 not dominated -> unstable = {2,3}? N+(I)={0,1}.
+	un3 := Unstable(g, mask(0))
+	if un3.Count() != 2 || !un3.Contains(2) || !un3.Contains(3) {
+		t.Fatalf("Unstable = %v, want {2 3}", un3)
+	}
+}
+
+func TestUnstableEmptyIffMIS(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		g := graph.Gnp(60, 0.1, rng.Split(uint64(trial)))
+		// Build a greedy MIS.
+		inMIS := make([]bool, g.N())
+		blocked := make([]bool, g.N())
+		for u := 0; u < g.N(); u++ {
+			if !blocked[u] {
+				inMIS[u] = true
+				for _, v := range g.Neighbors(u) {
+					blocked[v] = true
+				}
+			}
+		}
+		black := func(u int) bool { return inMIS[u] }
+		if err := MIS(g, black); err != nil {
+			t.Fatalf("greedy MIS invalid: %v", err)
+		}
+		if un := Unstable(g, black); !un.Empty() {
+			t.Fatalf("MIS configuration has unstable vertices: %v", un)
+		}
+	}
+}
+
+func TestCheckGreedyMISCompatible(t *testing.T) {
+	g := graph.Path(4)
+	order := []int{0, 1, 2, 3}
+	// Greedy over 0,1,2,3 gives {0, 2}... 3 has earlier neighbor 2 in set -> out.
+	if err := CheckGreedyMISCompatible(g, order, mask(0, 2)); err != nil {
+		t.Fatalf("greedy set flagged: %v", err)
+	}
+	if err := CheckGreedyMISCompatible(g, order, mask(1, 3)); err == nil {
+		t.Fatal("non-greedy set accepted")
+	}
+	if err := CheckGreedyMISCompatible(g, []int{0}, mask(0)); err == nil {
+		t.Fatal("short order accepted")
+	}
+}

@@ -1,0 +1,7 @@
+package xrand
+
+import "math"
+
+// logFloat is a thin wrapper over math.Log, isolated so the package's single
+// dependency on package math is visible in one place.
+func logFloat(x float64) float64 { return math.Log(x) }

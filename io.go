@@ -1,0 +1,28 @@
+package ssmis
+
+import (
+	"io"
+
+	"ssmis/internal/graphio"
+)
+
+// WriteGraphEdgeList writes g in the edge-list text format ("n <count>"
+// header, one "u v" pair per line, '#' comments).
+func WriteGraphEdgeList(w io.Writer, g *Graph) error {
+	return graphio.WriteEdgeList(w, g)
+}
+
+// ReadGraphEdgeList parses the edge-list text format.
+func ReadGraphEdgeList(r io.Reader) (*Graph, error) {
+	return graphio.ReadEdgeList(r)
+}
+
+// WriteGraphJSON writes g as {"n":..., "edges":[[u,v],...]}.
+func WriteGraphJSON(w io.Writer, g *Graph) error {
+	return graphio.WriteJSON(w, g)
+}
+
+// ReadGraphJSON parses the JSON graph interchange format.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	return graphio.ReadJSON(r)
+}

@@ -1,0 +1,39 @@
+package ssmis
+
+import (
+	"ssmis/internal/beeping"
+	"ssmis/internal/stoneage"
+)
+
+// BeepingMIS is the 2-state MIS process running as one goroutine per node
+// under the beeping model with sender collision detection: black nodes beep,
+// white nodes listen, and a node that finds its color inconsistent with what
+// it heard re-randomizes. Close it when done to release the node goroutines.
+type BeepingMIS = beeping.MIS
+
+// NewBeepingMIS starts the beeping-model protocol on g. initialBlack may be
+// nil for a uniformly random initial coloring. The execution is coin-for-
+// coin identical to NewTwoState(g, WithSeed(seed)) — the simulator and the
+// message-passing runtime are two engines for one process.
+func NewBeepingMIS(g *Graph, seed uint64, initialBlack []bool) *BeepingMIS {
+	return beeping.NewMIS(g, seed, initialBlack)
+}
+
+// StoneAgeThreeState is the 3-state MIS process running under the
+// synchronous stone age model (2 beep channels, no collision detection).
+type StoneAgeThreeState = stoneage.ThreeStateMIS
+
+// NewStoneAgeThreeState starts the stone-age 3-state protocol on g.
+func NewStoneAgeThreeState(g *Graph, seed uint64) *StoneAgeThreeState {
+	return stoneage.NewThreeStateMIS(g, seed, nil)
+}
+
+// StoneAgeThreeColor is the 18-state 3-color MIS process running under the
+// synchronous stone age model (12 beep channels encoding color × switch
+// level).
+type StoneAgeThreeColor = stoneage.ThreeColorMIS
+
+// NewStoneAgeThreeColor starts the stone-age 3-color protocol on g.
+func NewStoneAgeThreeColor(g *Graph, seed uint64) *StoneAgeThreeColor {
+	return stoneage.NewThreeColorMIS(g, seed, nil, nil)
+}

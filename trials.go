@@ -1,0 +1,96 @@
+package ssmis
+
+import (
+	"runtime"
+	"sync"
+
+	"ssmis/internal/stats"
+)
+
+// TrialSummary aggregates a multi-seed measurement (see RunSeeds).
+type TrialSummary struct {
+	// Trials is the number of runs attempted; Failures counts runs that hit
+	// the round cap without stabilizing.
+	Trials   int
+	Failures int
+	// Rounds statistics over the successful runs.
+	MeanRounds   float64
+	MedianRounds float64
+	MaxRounds    float64
+	// CI95 is the 95% confidence half-width of MeanRounds.
+	CI95 float64
+	// MeanRandomBits is the mean total random bits per successful run.
+	MeanRandomBits float64
+}
+
+// RunSeeds runs newProcess(seed) to stabilization for every seed on a
+// worker pool and aggregates the stabilization times — the library-level
+// version of the experiment harness's inner loop. maxRounds <= 0 selects
+// the default cap; workers <= 0 selects GOMAXPROCS. The factory must return
+// a fresh process per call (it is invoked concurrently).
+func RunSeeds(newProcess func(seed uint64) Process, seeds []uint64, maxRounds, workers int) TrialSummary {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	type outcome struct {
+		rounds float64
+		bits   float64
+		failed bool
+	}
+	outcomes := make([]outcome, len(seeds))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := newProcess(seeds[i])
+				res := Run(p, maxRounds)
+				if !res.Stabilized {
+					outcomes[i].failed = true
+					continue
+				}
+				outcomes[i] = outcome{rounds: float64(res.Rounds), bits: float64(res.RandomBits)}
+			}
+		}()
+	}
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	sum := TrialSummary{Trials: len(seeds)}
+	var rounds, bits []float64
+	for _, o := range outcomes {
+		if o.failed {
+			sum.Failures++
+			continue
+		}
+		rounds = append(rounds, o.rounds)
+		bits = append(bits, o.bits)
+	}
+	if len(rounds) > 0 {
+		s := stats.Summarize(rounds)
+		sum.MeanRounds = s.Mean
+		sum.MedianRounds = s.Median
+		sum.MaxRounds = s.Max
+		sum.CI95 = s.MeanCI95()
+		sum.MeanRandomBits = stats.Mean(bits)
+	}
+	return sum
+}
+
+// Seeds returns the slice [base, base+1, ..., base+count-1], the common
+// argument to RunSeeds.
+func Seeds(base uint64, count int) []uint64 {
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
