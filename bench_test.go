@@ -64,6 +64,7 @@ func BenchmarkE14LocalTimes(b *testing.B)        { runExperiment(b, "E14") }
 func BenchmarkE15TopologyChurn(b *testing.B)     { runExperiment(b, "E15") }
 func BenchmarkE16MISQuality(b *testing.B)        { runExperiment(b, "E16") }
 func BenchmarkE17RestartScheme(b *testing.B)     { runExperiment(b, "E17") }
+func BenchmarkE18DaemonSchedules(b *testing.B)   { runExperiment(b, "E18") }
 
 // --- simulator micro-benchmarks ---
 
@@ -125,6 +126,60 @@ func BenchmarkStepTwoStateGnp100k(b *testing.B) {
 		}
 		p.Step()
 	}
+}
+
+// --- shared-engine benchmarks: frontier vs full-rescan, sequential vs
+// workers (see BENCH_engine.json for recorded results) ---
+
+// benchEngine measures full time-to-stabilization of the 2-state process on
+// a fixed graph under the given extra options.
+func benchEngine(b *testing.B, g *ssmis.Graph, opts ...ssmis.Option) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		all := append([]ssmis.Option{ssmis.WithSeed(uint64(i))}, opts...)
+		res := ssmis.Run(ssmis.NewTwoState(g, all...), 0)
+		if !res.Stabilized {
+			b.Fatal("run did not stabilize")
+		}
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/run")
+}
+
+func BenchmarkEngineFrontierGnp100k(b *testing.B) {
+	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7))
+}
+
+func BenchmarkEngineRescanGnp100k(b *testing.B) {
+	// The pre-engine cost model: every vertex re-derived every round.
+	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7), mis.WithFullRescan())
+}
+
+func BenchmarkEngineFrontierChungLu100k(b *testing.B) {
+	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7))
+}
+
+func BenchmarkEngineRescanChungLu100k(b *testing.B) {
+	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7), mis.WithFullRescan())
+}
+
+func BenchmarkEngineFrontierGnp1M(b *testing.B) {
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7))
+}
+
+func BenchmarkEngineWorkersGnp1M(b *testing.B) {
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7), ssmis.WithWorkers(8))
+}
+
+func BenchmarkEngineFrontierChungLu1M(b *testing.B) {
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7))
+}
+
+func BenchmarkEngineWorkersChungLu1M(b *testing.B) {
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7), ssmis.WithWorkers(8))
 }
 
 func BenchmarkBeepingRuntime1k(b *testing.B) {

@@ -17,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ssmis/internal/beeping"
 	"ssmis/internal/graph"
 	"ssmis/internal/graphio"
 	"ssmis/internal/mis"
+	"ssmis/internal/sched"
 	"ssmis/internal/stats"
 	"ssmis/internal/stoneage"
 	"ssmis/internal/verify"
@@ -54,9 +56,10 @@ func run() int {
 		procKind  = flag.String("proc", "2state", "process: 2state|3state|3color")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		initKind  = flag.String("init", "random", "initialization: random|all-white|all-black|checkerboard|near-mis")
-		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = default); with -daemon this caps daemon steps, which are single-vertex moves under central daemons")
 		progress  = flag.Bool("progress", false, "print per-round aggregates")
 		engine    = flag.String("engine", "sim", "execution engine: sim|node")
+		daemon    = flag.String("daemon", "", "schedule the process under a daemon: "+strings.Join(sched.DaemonNames(), "|")+" (2state/3state only)")
 		trials    = flag.Int("trials", 1, "run this many seeds (seed, seed+1, ...) and print summary statistics")
 	)
 	flag.Parse()
@@ -72,6 +75,10 @@ func run() int {
 	}
 
 	if *engine == "node" {
+		if *daemon != "" {
+			fmt.Fprintln(os.Stderr, "misrun: -daemon requires the sim engine (the node runtime is synchronous by construction)")
+			return 2
+		}
 		return runNodeEngine(g, *procKind, *seed, limit)
 	}
 
@@ -79,6 +86,13 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misrun:", err)
 		return 2
+	}
+	if *daemon != "" {
+		if *trials > 1 || *progress {
+			fmt.Fprintln(os.Stderr, "misrun: -daemon does not combine with -trials or -progress")
+			return 2
+		}
+		return runDaemon(g, *procKind, *daemon, init, *seed, *maxRounds)
 	}
 	if *trials > 1 {
 		return runTrials(g, *procKind, init, *seed, *trials, limit)
@@ -125,6 +139,46 @@ func run() int {
 	fmt.Printf("stabilized in %d rounds; MIS size %d; %d random bits (%.2f bits/vertex/round)\n",
 		res.Rounds, misSize, res.RandomBits,
 		float64(res.RandomBits)/float64(g.N())/maxf(1, float64(res.Rounds)))
+	return 0
+}
+
+// runDaemon executes one process under a daemon schedule and reports
+// steps/moves to stabilization.
+func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed uint64, maxSteps int) int {
+	d, err := sched.DaemonByName(daemonName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
+		return 2
+	}
+	var p mis.DaemonRunner
+	switch procKind {
+	case "2state":
+		p = mis.NewTwoState(g, mis.WithSeed(seed), mis.WithInit(init))
+	case "3state":
+		p = mis.NewThreeState(g, mis.WithSeed(seed), mis.WithInit(init))
+	default:
+		fmt.Fprintf(os.Stderr, "misrun: process %q does not support daemon scheduling (2state|3state)\n", procKind)
+		return 2
+	}
+	fmt.Printf("process %s under %s daemon, init %s, seed %d on n=%d m=%d\n",
+		p.Name(), d.Name(), init, seed, g.N(), g.M())
+	steps, ok := p.DaemonRun(d, maxSteps)
+	if !ok {
+		fmt.Printf("did NOT stabilize within %d daemon steps\n", steps)
+		return 1
+	}
+	if err := verify.MIS(g, p.Black); err != nil {
+		fmt.Fprintln(os.Stderr, "misrun: INVALID RESULT:", err)
+		return 1
+	}
+	misSize := 0
+	for u := 0; u < g.N(); u++ {
+		if p.Black(u) {
+			misSize++
+		}
+	}
+	fmt.Printf("stabilized after %d daemon steps (%d moves, %.2f moves/vertex); MIS size %d\n",
+		steps, p.Moves(), float64(p.Moves())/float64(g.N()), misSize)
 	return 0
 }
 

@@ -80,3 +80,21 @@ func TestRunTrialsSmoke(t *testing.T) {
 		t.Fatalf("bogus process returned %d, want 2", rc)
 	}
 }
+
+func TestRunDaemonSmoke(t *testing.T) {
+	g, err := buildGraph("gnp", "", 200, 0.03, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range []string{"2state", "3state"} {
+		if rc := runDaemon(g, proc, "central-random", mis.InitRandom, 1, 0); rc != 0 {
+			t.Fatalf("%s under central-random returned %d", proc, rc)
+		}
+	}
+	if rc := runDaemon(g, "3color", "central-random", mis.InitRandom, 1, 0); rc != 2 {
+		t.Fatalf("3color daemon run returned %d, want 2", rc)
+	}
+	if rc := runDaemon(g, "2state", "bogus", mis.InitRandom, 1, 0); rc != 2 {
+		t.Fatalf("bogus daemon returned %d, want 2", rc)
+	}
+}

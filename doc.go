@@ -2,10 +2,33 @@
 // maximal-independent-set (MIS) processes of Giakkoupis and Ziccardi,
 // "Distributed Self-Stabilizing MIS with Few States and Weak Communication"
 // (PODC 2023, arXiv:2301.05059), together with the substrates needed to
-// reproduce every quantitative claim of the paper: graph generators, a fast
-// synchronous simulator, goroutine-per-node beeping and stone-age runtimes,
-// classical baselines, a good-graph checker, fault injection, and an
-// experiment harness.
+// reproduce every quantitative claim of the paper: graph generators, a
+// shared frontier-driven round engine, goroutine-per-node beeping and
+// stone-age runtimes, classical baselines, a good-graph checker, fault
+// injection, and an experiment harness.
+//
+// # Architecture
+//
+// All three processes are thin rule definitions — an activity predicate
+// plus a per-vertex transition over at most two neighbor counters — running
+// on one shared engine (internal/engine). The engine owns bitset-packed
+// vertex sets, incremental neighbor counters with a complete-graph fast
+// path, and a frontier worklist: a round evaluates only the vertices whose
+// transition can fire and re-derives memberships only where the
+// neighborhood changed, so the long tail of a run — where almost nothing
+// flips — costs O(Σ deg(flipped)) per round instead of O(n). Stabilization
+// is detected through the monotone stable core I_t (black vertices with no
+// black neighbor) covering the graph, whose first-cover stamps double as
+// the per-vertex local stabilization times (WithLocalTimes). The engine
+// also provides intra-round parallelism for every process (WithWorkers)
+// and daemon-scheduled execution bridging internal/sched into the
+// randomized processes (the DaemonRun methods, the misrun -daemon flag and
+// experiment E18).
+//
+// Because every vertex draws coins from its own stream split off the master
+// seed, an execution is a pure function of (graph, seed, initializer) — and
+// the engine, its parallel path, and the goroutine-per-node runtimes in
+// internal/beeping and internal/stoneage all draw exactly the same coins.
 //
 // The three processes:
 //

@@ -1,0 +1,3 @@
+module ssmis
+
+go 1.24

@@ -8,6 +8,7 @@ package bitset
 import (
 	"math/bits"
 	"strings"
+	"sync/atomic"
 )
 
 const wordBits = 64
@@ -47,6 +48,13 @@ func (s *Set) SetTo(i int, v bool) {
 	} else {
 		s.Remove(i)
 	}
+}
+
+// AddAtomic inserts i with an atomic OR on the containing word, making
+// concurrent insertions from multiple goroutines safe. Mixing AddAtomic with
+// the non-atomic mutators on the same set concurrently is not safe.
+func (s *Set) AddAtomic(i int) {
+	atomic.OrUint64(&s.words[i/wordBits], 1<<(uint(i)%wordBits))
 }
 
 // Contains reports whether i is in the set.
@@ -178,6 +186,38 @@ func (s *Set) IntersectionCount(t *Set) int {
 func (s *Set) ForEach(fn func(i int)) {
 	for wi, w := range s.words {
 		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachInRange calls fn for every element of s in [lo, hi), in increasing
+// order. lo and hi are clamped to the universe; the common caller partitions
+// the universe into word-aligned chunks, making per-chunk iteration touch
+// disjoint words.
+func (s *Set) ForEachInRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	for wi := lo / wordBits; wi <= (hi-1)/wordBits; wi++ {
+		w := s.words[wi]
+		base := wi * wordBits
+		// Mask off bits below lo in the first word and at/above hi in the last.
+		if base < lo {
+			w &^= (1 << uint(lo-base)) - 1
+		}
+		if base+wordBits > hi {
+			w &= (1 << uint(hi-base)) - 1
+		}
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
 			fn(base + tz)

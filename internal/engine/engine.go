@@ -1,0 +1,566 @@
+// Package engine is the shared frontier-driven round engine behind the
+// paper's three MIS processes. A process is expressed as a Rule — an activity
+// predicate plus a per-vertex transition over at most two neighbor counters —
+// and the engine owns everything the three hand-rolled simulators used to
+// duplicate:
+//
+//   - bitset-packed vertex sets (worklist, active set, stable core I_t and
+//     its closed neighborhood) over internal/bitset words;
+//   - a frontier worklist: a round evaluates only vertices whose transition
+//     can fire, and after the commit re-derives membership only for vertices
+//     whose own state or neighborhood changed. The per-round cost is
+//     O(|worklist| + Σ deg(changed)) instead of O(n) — in the long tail of a
+//     run, where almost nothing flips, rounds become near-free;
+//   - incremental neighbor counters with a complete-graph fast path (class
+//     totals instead of per-vertex counts, generalizing the seed's 2-state
+//     clique shortcut to every rule);
+//   - monotone-coverage stabilization: the stable core I_t (black vertices
+//     with no black neighbor) only grows, so N+(I_t) is tracked by
+//     first-cover stamps, which doubles as the per-vertex local
+//     stabilization-time instrument;
+//   - optional intra-round parallelism (parallel.go) and daemon-scheduled
+//     execution (daemon.go) shared by every rule.
+//
+// Determinism contract: every vertex draws coins from its own stream, so an
+// execution is a pure function of (graph, rule, initial state, streams) — the
+// worklist order, the worker count, and the commit order never change which
+// coins a vertex sees. This is what keeps the engine coin-for-coin equivalent
+// to the goroutine-per-node runtimes in internal/beeping and
+// internal/stoneage, and bit-identical to the pre-engine simulators.
+package engine
+
+import (
+	"fmt"
+
+	"ssmis/internal/bitset"
+	"ssmis/internal/graph"
+	"ssmis/internal/xrand"
+)
+
+// Class bits: which engine counters a state value feeds. Counter A is the
+// black projection (all three processes); counter B is rule-specific (the
+// 3-state process counts black1 neighbors there).
+const (
+	ClassA uint8 = 1 << iota
+	ClassB
+)
+
+// Rule defines a process over the engine. State values are small positive
+// uint8s (0 is reserved as "invalid"); all predicates must be pure functions
+// of their arguments so that membership caches can be refreshed locally.
+type Rule interface {
+	// NumStates returns the largest state value in use.
+	NumStates() int
+	// Class reports the counter classes state s contributes to.
+	Class(s uint8) uint8
+	// Black reports the black projection of state s.
+	Black(s uint8) bool
+	// Active reports the paper's activity predicate for a vertex in state s
+	// with counter readings a and b.
+	Active(u int, s uint8, a, b int32) bool
+	// Touched reports whether a vertex in state s with counter readings a, b
+	// may transition this round — the engine's worklist predicate. It must be
+	// a superset of Active and include every deterministic transition (e.g.
+	// black0→white demotion, switch-gated gray→white).
+	Touched(u int, s uint8, a, b int32) bool
+	// Evaluate returns the next state of a touched vertex, drawing process
+	// coins from d (charged to the vertex's own stream). Returning s means
+	// "no transition".
+	Evaluate(u int, s uint8, a, b int32, d *Draw) uint8
+}
+
+// MidRound is implemented by rules that run a synchronous sub-process between
+// the coin-drawing phase and the state commit (the 3-color process advances
+// its logarithmic switch there). It is invoked exactly once per synchronous
+// round, after every touched vertex has drawn its coins against the pre-round
+// state.
+type MidRound interface {
+	MidRound()
+}
+
+// Options configures an engine instance.
+type Options struct {
+	// Bias is the probability a process coin comes up "first outcome"
+	// (black). 0.5 draws one bit per coin; any other value draws a 64-bit
+	// Bernoulli sample, matching the paper's bit accounting.
+	Bias float64
+	// Workers > 1 enables the parallel round path; results are bit-identical
+	// to the sequential path.
+	Workers int
+	// NoopWhenIdle makes Step return without advancing the round counter
+	// when the worklist is empty (the 2-state process's quiescence
+	// semantics: stabilization and empty worklist coincide).
+	NoopWhenIdle bool
+	// FullRescan disables the frontier and re-derives every membership from
+	// scratch each round — the pre-engine cost model. Kept for differential
+	// tests and benchmarks; never faster.
+	FullRescan bool
+}
+
+// Draw hands process coins to Rule.Evaluate. Each worker owns one, so bit
+// accounting is race-free; totals are merged into the engine after a round.
+type Draw struct {
+	rngs []*xrand.Rand
+	bias float64
+	bits int64
+}
+
+// Coin draws vertex u's process coin with the configured bias.
+func (d *Draw) Coin(u int) bool {
+	if d.bias == 0.5 {
+		d.bits++
+		return d.rngs[u].Bit()
+	}
+	d.bits += 64
+	return d.rngs[u].Bernoulli(d.bias)
+}
+
+// change is one committed transition.
+type change struct {
+	u int32
+	s uint8
+}
+
+// Core is the engine state for one process execution.
+type Core struct {
+	g    *graph.Graph
+	rule Rule
+	opts Options
+
+	state []uint8
+	rngs  []*xrand.Rand
+	round int
+	bits  int64
+
+	complete bool // complete-graph fast path: counters from class totals
+	useB     bool // rule uses counter B
+	nbrA     []int32
+	nbrB     []int32
+	totalA   int
+	totalB   int
+	stateCnt []int // population per state value
+
+	work      *bitset.Set // touched vertices (this round's worklist)
+	workCnt   int
+	active    *bitset.Set
+	activeCnt int
+
+	inI        *bitset.Set // the monotone stable core I_t
+	coveredAt  []int32     // round a vertex first entered N+(I_t); -1 = never
+	coveredCnt int
+
+	// per-round scratch
+	changes      []change
+	dirty        *bitset.Set
+	dirtyAll     bool
+	draw         Draw
+	forceGeneric bool // DisableCompleteFastPath
+
+	// daemon accounting (daemon.go)
+	steps int
+	moves int
+	priv  []int
+}
+
+// New builds an engine over g for the given rule, taking ownership of the
+// initial state vector and the per-vertex random streams.
+func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Options) *Core {
+	n := g.N()
+	if len(initial) != n || len(rngs) != n {
+		panic(fmt.Sprintf("engine: initial state %d / streams %d for graph order %d",
+			len(initial), len(rngs), n))
+	}
+	// Negated conjunction so NaN fails too.
+	if !(opts.Bias > 0 && opts.Bias < 1) {
+		panic(fmt.Sprintf("engine: coin bias %v outside (0,1)", opts.Bias))
+	}
+	if opts.Workers < 0 {
+		panic(fmt.Sprintf("engine: negative worker count %d", opts.Workers))
+	}
+	e := &Core{
+		g:         g,
+		rule:      rule,
+		opts:      opts,
+		state:     initial,
+		rngs:      rngs,
+		stateCnt:  make([]int, rule.NumStates()+1),
+		work:      bitset.New(n),
+		active:    bitset.New(n),
+		inI:       bitset.New(n),
+		coveredAt: make([]int32, n),
+		dirty:     bitset.New(n),
+		draw:      Draw{rngs: rngs, bias: opts.Bias},
+	}
+	for s := uint8(1); int(s) <= rule.NumStates(); s++ {
+		if rule.Class(s)&ClassB != 0 {
+			e.useB = true
+		}
+	}
+	e.Rebuild()
+	return e
+}
+
+// Graph returns the underlying graph.
+func (e *Core) Graph() *graph.Graph { return e.g }
+
+// Round returns the number of completed rounds.
+func (e *Core) Round() int { return e.round }
+
+// Bits returns the total process random bits drawn so far (sub-process bits,
+// e.g. the 3-color switch, are accounted by the rule).
+func (e *Core) Bits() int64 { return e.bits }
+
+// SetAccounting overwrites the round and bit counters (checkpoint restore)
+// and re-stamps the already-covered vertices with the restored round,
+// matching the local-times semantics of an execution resumed mid-run.
+func (e *Core) SetAccounting(round int, bits int64) {
+	e.round = round
+	e.bits = bits
+	for i, r := range e.coveredAt {
+		if r >= 0 {
+			e.coveredAt[i] = int32(round)
+		}
+	}
+}
+
+// State returns the current state of vertex u.
+func (e *Core) State(u int) uint8 { return e.state[u] }
+
+// States returns the full state vector (not a copy).
+func (e *Core) States() []uint8 { return e.state }
+
+// Rngs returns the per-vertex random streams (checkpointing).
+func (e *Core) Rngs() []*xrand.Rand { return e.rngs }
+
+// ActiveCount returns |A_t| at the end of the last completed round.
+func (e *Core) ActiveCount() int { return e.activeCnt }
+
+// StateCount returns the number of vertices currently in state s.
+func (e *Core) StateCount(s uint8) int { return e.stateCnt[s] }
+
+// ClassACount returns the number of vertices in a ClassA (black) state.
+func (e *Core) ClassACount() int { return e.totalA }
+
+// StableCoreCount returns |I_t|: black vertices with no black neighbor.
+func (e *Core) StableCoreCount() int { return e.inI.Count() }
+
+// Complete reports whether the complete-graph fast path is engaged.
+func (e *Core) Complete() bool { return e.complete }
+
+// DisableCompleteFastPath forces the generic per-vertex counters even on
+// complete graphs; differential tests use it to exercise both paths on one
+// execution.
+func (e *Core) DisableCompleteFastPath() {
+	e.forceGeneric = true
+	e.Rebuild()
+}
+
+// Stabilized reports N+(I_t) = V. I_t is monotone non-decreasing under every
+// rule's dynamics (a stable black vertex keeps re-randomizing between its
+// black states, and its neighbors are frozen), so coverage is tracked by
+// first-cover stamps and the condition is permanent once reached. For the
+// 2-state process this coincides with quiescence: no vertex active.
+func (e *Core) Stabilized() bool { return e.coveredCnt == e.g.N() }
+
+// CoveredAt returns the per-vertex first-cover rounds (-1 = not yet covered)
+// — the execution's local stabilization times.
+func (e *Core) CoveredAt() []int32 { return e.coveredAt }
+
+// countA returns counter A of u (black neighbors).
+func (e *Core) countA(u int) int32 {
+	if e.complete {
+		c := int32(e.totalA)
+		if e.rule.Class(e.state[u])&ClassA != 0 {
+			c--
+		}
+		return c
+	}
+	return e.nbrA[u]
+}
+
+// countB returns counter B of u (rule-specific; 0 when unused).
+func (e *Core) countB(u int) int32 {
+	if !e.useB {
+		return 0
+	}
+	if e.complete {
+		c := int32(e.totalB)
+		if e.rule.Class(e.state[u])&ClassB != 0 {
+			c--
+		}
+		return c
+	}
+	return e.nbrB[u]
+}
+
+// CountA exposes counter A for rule implementations and invariant checks.
+func (e *Core) CountA(u int) int32 { return e.countA(u) }
+
+// CountB exposes counter B for rule implementations and invariant checks.
+func (e *Core) CountB(u int) int32 { return e.countB(u) }
+
+// Step advances one synchronous round: every touched vertex evaluates the
+// rule against the frozen pre-round state (drawing coins from its own
+// stream), the rule's mid-round sub-process runs, and the changes commit.
+func (e *Core) Step() {
+	if e.opts.NoopWhenIdle && e.workCnt == 0 {
+		return
+	}
+	if e.opts.Workers > 1 {
+		e.stepParallel()
+		return
+	}
+	e.changes = e.changes[:0]
+	e.work.ForEach(func(u int) {
+		s := e.state[u]
+		ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &e.draw)
+		if ns != s {
+			e.changes = append(e.changes, change{int32(u), ns})
+		}
+	})
+	e.bits += e.draw.bits
+	e.draw.bits = 0
+	if mr, ok := e.rule.(MidRound); ok {
+		mr.MidRound()
+	}
+	e.commit(e.changes)
+	e.round++
+	e.refresh()
+}
+
+// commit applies a batch of transitions and records the dirty frontier.
+func (e *Core) commit(changes []change) {
+	for _, c := range changes {
+		u := int(c.u)
+		s, ns := e.state[u], c.s
+		e.stateCnt[s]--
+		e.stateCnt[ns]++
+		e.state[u] = ns
+		e.dirty.Add(u)
+		oldCl, newCl := e.rule.Class(s), e.rule.Class(ns)
+		if oldCl == newCl {
+			continue
+		}
+		da := int32(newCl&ClassA) - int32(oldCl&ClassA)
+		db := (int32(newCl&ClassB) - int32(oldCl&ClassB)) >> 1
+		e.totalA += int(da)
+		e.totalB += int(db)
+		if e.complete {
+			e.dirtyAll = true
+			continue
+		}
+		if db != 0 && e.useB {
+			for _, v := range e.g.Neighbors(u) {
+				e.nbrA[v] += da
+				e.nbrB[v] += db
+				e.dirty.Add(int(v))
+			}
+		} else if da != 0 {
+			for _, v := range e.g.Neighbors(u) {
+				e.nbrA[v] += da
+				e.dirty.Add(int(v))
+			}
+		}
+	}
+}
+
+// refresh re-derives worklist/active/coverage membership for the dirty
+// frontier (or every vertex under FullRescan / the complete-graph path).
+func (e *Core) refresh() {
+	if e.dirtyAll || e.opts.FullRescan {
+		n := e.g.N()
+		for v := 0; v < n; v++ {
+			e.refreshVertex(v)
+		}
+		e.dirtyAll = false
+	} else {
+		e.dirty.ForEach(e.refreshVertex)
+	}
+	e.dirty.Clear()
+}
+
+// refreshVertex re-derives cached memberships of v from its state and
+// counters, and advances the monotone coverage tracking.
+func (e *Core) refreshVertex(v int) {
+	s := e.state[v]
+	a, b := e.countA(v), e.countB(v)
+	if t := e.rule.Touched(v, s, a, b); t != e.work.Contains(v) {
+		e.work.SetTo(v, t)
+		if t {
+			e.workCnt++
+		} else {
+			e.workCnt--
+		}
+	}
+	if act := e.rule.Active(v, s, a, b); act != e.active.Contains(v) {
+		e.active.SetTo(v, act)
+		if act {
+			e.activeCnt++
+		} else {
+			e.activeCnt--
+		}
+	}
+	if e.rule.Black(s) && a == 0 && !e.inI.Contains(v) {
+		e.inI.Add(v)
+		e.cover(v)
+		for _, w := range e.g.Neighbors(v) {
+			e.cover(int(w))
+		}
+	}
+}
+
+// cover stamps v's first entry into N+(I_t) with the current round.
+func (e *Core) cover(v int) {
+	if e.coveredAt[v] < 0 {
+		e.coveredAt[v] = int32(e.round)
+		e.coveredCnt++
+	}
+}
+
+// Rebuild re-derives every counter and membership set from the state vector:
+// used at construction and after external mutation (corruption, rebind).
+// Coverage stamps reset to the current round, matching the semantics of the
+// local-times instrument after a fault.
+func (e *Core) Rebuild() {
+	n := e.g.N()
+	e.complete = !e.forceGeneric && n >= 2 && e.g.M() == n*(n-1)/2
+	if !e.complete && e.nbrA == nil {
+		e.nbrA = make([]int32, n)
+		if e.useB {
+			e.nbrB = make([]int32, n)
+		}
+	}
+	for i := range e.stateCnt {
+		e.stateCnt[i] = 0
+	}
+	e.totalA, e.totalB = 0, 0
+	if !e.complete {
+		for u := 0; u < n; u++ {
+			e.nbrA[u] = 0
+			if e.useB {
+				e.nbrB[u] = 0
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		s := e.state[u]
+		e.stateCnt[s]++
+		cl := e.rule.Class(s)
+		if cl == 0 {
+			continue
+		}
+		if cl&ClassA != 0 {
+			e.totalA++
+		}
+		if cl&ClassB != 0 {
+			e.totalB++
+		}
+		if e.complete {
+			continue
+		}
+		for _, v := range e.g.Neighbors(u) {
+			if cl&ClassA != 0 {
+				e.nbrA[v]++
+			}
+			if cl&ClassB != 0 && e.useB {
+				e.nbrB[v]++
+			}
+		}
+	}
+	e.work.Clear()
+	e.active.Clear()
+	e.inI.Clear()
+	e.workCnt, e.activeCnt = 0, 0
+	e.coveredCnt = 0
+	for i := range e.coveredAt {
+		e.coveredAt[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		e.refreshVertex(v)
+	}
+	e.dirty.Clear()
+	e.dirtyAll = false
+}
+
+// Rebind switches the engine to a new graph on the same vertex set, keeping
+// all vertex states (topology churn). It panics on order mismatch.
+func (e *Core) Rebind(g *graph.Graph) {
+	if g.N() != e.g.N() {
+		panic(fmt.Sprintf("engine: Rebind to order %d != %d", g.N(), e.g.N()))
+	}
+	e.g = g
+	e.Rebuild()
+}
+
+// CheckIntegrity recomputes every incremental structure from scratch and
+// returns a descriptive error on the first divergence — the invariant probe
+// used by property tests.
+func (e *Core) CheckIntegrity() error {
+	n := e.g.N()
+	workCnt, activeCnt := 0, 0
+	totalA, totalB := 0, 0
+	for u := 0; u < n; u++ {
+		s := e.state[u]
+		var a, b int32
+		for _, v := range e.g.Neighbors(u) {
+			cl := e.rule.Class(e.state[v])
+			if cl&ClassA != 0 {
+				a++
+			}
+			if cl&ClassB != 0 {
+				b++
+			}
+		}
+		if got := e.countA(u); got != a {
+			return fmt.Errorf("round %d: counter A of %d = %d, recomputed %d", e.round, u, got, a)
+		}
+		if e.useB {
+			if got := e.countB(u); got != b {
+				return fmt.Errorf("round %d: counter B of %d = %d, recomputed %d", e.round, u, got, b)
+			}
+		}
+		cl := e.rule.Class(s)
+		if cl&ClassA != 0 {
+			totalA++
+		}
+		if cl&ClassB != 0 {
+			totalB++
+		}
+		if want := e.rule.Touched(u, s, a, b); want != e.work.Contains(u) {
+			return fmt.Errorf("round %d: worklist membership of %d = %v, recomputed %v",
+				e.round, u, e.work.Contains(u), want)
+		} else if want {
+			workCnt++
+		}
+		if want := e.rule.Active(u, s, a, b); want != e.active.Contains(u) {
+			return fmt.Errorf("round %d: active membership of %d = %v, recomputed %v",
+				e.round, u, e.active.Contains(u), want)
+		} else if want {
+			activeCnt++
+		}
+		if want := e.rule.Black(s) && a == 0; want != e.inI.Contains(u) {
+			return fmt.Errorf("round %d: stable-core membership of %d = %v, recomputed %v",
+				e.round, u, e.inI.Contains(u), want)
+		}
+	}
+	if workCnt != e.workCnt {
+		return fmt.Errorf("round %d: workCnt = %d, recomputed %d", e.round, e.workCnt, workCnt)
+	}
+	if activeCnt != e.activeCnt {
+		return fmt.Errorf("round %d: activeCnt = %d, recomputed %d", e.round, e.activeCnt, activeCnt)
+	}
+	if totalA != e.totalA || (e.useB && totalB != e.totalB) {
+		return fmt.Errorf("round %d: class totals (%d,%d), recomputed (%d,%d)",
+			e.round, e.totalA, e.totalB, totalA, totalB)
+	}
+	covered := 0
+	for u := 0; u < n; u++ {
+		if e.coveredAt[u] >= 0 {
+			covered++
+		}
+	}
+	if covered != e.coveredCnt {
+		return fmt.Errorf("round %d: coveredCnt = %d, stamps say %d", e.round, e.coveredCnt, covered)
+	}
+	return nil
+}

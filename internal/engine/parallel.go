@@ -1,0 +1,136 @@
+package engine
+
+// Intra-round parallelism, shared by every rule. A synchronous round is
+// embarrassingly parallel across vertices: coins come from per-vertex
+// streams, so the execution is bit-identical to the sequential path
+// regardless of goroutine scheduling. The worklist is partitioned into
+// word-aligned vertex ranges; workers evaluate their ranges against the
+// frozen pre-round state, then commit their change lists with atomic
+// counter updates and atomic dirty-bit insertion. The membership refresh
+// stays sequential — it is O(|dirty|), not O(n), and determinism of the
+// counters matters more than the last few percent.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stepParallel executes one synchronous round with opts.Workers goroutines.
+// Semantics are identical to the sequential Step.
+func (e *Core) stepParallel() {
+	n := e.g.N()
+	workers := e.opts.Workers
+	// Word-aligned chunks so concurrent worklist iteration touches disjoint
+	// bitset words.
+	chunk := (n/workers + 64) &^ 63
+
+	changesPer := make([][]change, workers)
+	var wg sync.WaitGroup
+	var bits int64
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			d := Draw{rngs: e.rngs, bias: e.opts.Bias}
+			var changes []change
+			e.work.ForEachInRange(lo, hi, func(u int) {
+				s := e.state[u]
+				ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &d)
+				if ns != s {
+					changes = append(changes, change{int32(u), ns})
+				}
+			})
+			changesPer[w] = changes
+			atomic.AddInt64(&bits, d.bits)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	e.bits += bits
+
+	if mr, ok := e.rule.(MidRound); ok {
+		mr.MidRound()
+	}
+
+	if e.complete {
+		// Counter updates are class-total bumps; committing sequentially is
+		// cheap and avoids racing on dirtyAll.
+		for _, changes := range changesPer {
+			e.commit(changes)
+		}
+	} else {
+		e.commitParallel(changesPer)
+	}
+	e.round++
+	e.refresh()
+}
+
+// commitParallel applies the per-worker change lists concurrently. State
+// writes are disjoint (one change per vertex per round), neighbor counters
+// use atomic adds, and the dirty frontier uses atomic bit insertion; the
+// state-population and class totals are merged from per-worker deltas.
+func (e *Core) commitParallel(changesPer [][]change) {
+	var wg sync.WaitGroup
+	type totals struct {
+		stateCnt []int32
+		a, b     int
+	}
+	perWorker := make([]totals, len(changesPer))
+	for w, changes := range changesPer {
+		if len(changes) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, changes []change) {
+			defer wg.Done()
+			t := totals{stateCnt: make([]int32, len(e.stateCnt))}
+			for _, c := range changes {
+				u := int(c.u)
+				s, ns := e.state[u], c.s
+				t.stateCnt[s]--
+				t.stateCnt[ns]++
+				e.state[u] = ns
+				e.dirty.AddAtomic(u)
+				oldCl, newCl := e.rule.Class(s), e.rule.Class(ns)
+				if oldCl == newCl {
+					continue
+				}
+				da := int32(newCl&ClassA) - int32(oldCl&ClassA)
+				db := (int32(newCl&ClassB) - int32(oldCl&ClassB)) >> 1
+				t.a += int(da)
+				t.b += int(db)
+				if db != 0 && e.useB {
+					for _, v := range e.g.Neighbors(u) {
+						atomic.AddInt32(&e.nbrA[v], da)
+						atomic.AddInt32(&e.nbrB[v], db)
+						e.dirty.AddAtomic(int(v))
+					}
+				} else if da != 0 {
+					for _, v := range e.g.Neighbors(u) {
+						atomic.AddInt32(&e.nbrA[v], da)
+						e.dirty.AddAtomic(int(v))
+					}
+				}
+			}
+			perWorker[w] = t
+		}(w, changes)
+	}
+	wg.Wait()
+	for _, t := range perWorker {
+		if t.stateCnt == nil {
+			continue
+		}
+		for s, d := range t.stateCnt {
+			e.stateCnt[s] += int(d)
+		}
+		e.totalA += t.a
+		e.totalB += t.b
+	}
+}

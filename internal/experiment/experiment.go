@@ -200,6 +200,7 @@ func Registry() []Experiment {
 		e15TopologyChurn(),
 		e16MISQuality(),
 		e17RestartScheme(),
+		e18DaemonSchedules(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

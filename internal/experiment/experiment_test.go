@@ -7,8 +7,8 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(exps))
 	}
 	for i, e := range exps {
 		wantID := "E" + itoa(i+1)

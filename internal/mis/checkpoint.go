@@ -9,12 +9,15 @@ package mis
 //
 // The graph itself is not embedded (graphs can be large and are
 // reconstructible from their own seeds or interchange files); Restore
-// functions take the graph and verify its order.
+// functions take the graph and verify its order. The on-disk format
+// predates the shared engine and is kept unchanged: 2-state states are
+// stored as 0 = white / 1 = black.
 
 import (
 	"encoding/json"
 	"fmt"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/phaseclock"
 	"ssmis/internal/xrand"
@@ -93,23 +96,47 @@ func unmarshalRngs(blobs [][]byte, n int) ([]*xrand.Rand, error) {
 	return out, nil
 }
 
+// checkpointBias validates the checkpoint's coin bias. A zero value (legacy
+// checkpoints predating per-process bias support) means the default fair
+// coin; anything else outside (0,1) is a malformed checkpoint and reported
+// as an error rather than the engine's construction panic.
+func checkpointBias(c *Checkpoint) (float64, error) {
+	if c.BlackBias == 0 {
+		return 0.5, nil
+	}
+	// Negated conjunction so NaN fails too.
+	if !(c.BlackBias > 0 && c.BlackBias < 1) {
+		return 0, fmt.Errorf("mis: checkpoint coin bias %v outside (0,1)", c.BlackBias)
+	}
+	return c.BlackBias, nil
+}
+
+// restoreCore assembles an engine over restored state; SetAccounting
+// replays the checkpointed round/bit accounting into the coverage stamps.
+func restoreCore(g *graph.Graph, rule engine.Rule, state []uint8, rngs []*xrand.Rand, o options, noop bool, c *Checkpoint) *engine.Core {
+	core := engine.New(g, rule, state, rngs, o.engine(noop))
+	core.SetAccounting(c.Round, c.Bits)
+	return core
+}
+
 // Checkpoint snapshots the 2-state process.
 func (p *TwoState) Checkpoint() (*Checkpoint, error) {
-	states := make([]uint8, len(p.black))
-	for u, b := range p.black {
-		if b {
+	engineStates := p.core.States()
+	states := make([]uint8, len(engineStates))
+	for u, s := range engineStates {
+		if s == twoBlack {
 			states[u] = 1
 		}
 	}
-	rngs, err := marshalRngs(p.rngs)
+	rngs, err := marshalRngs(p.core.Rngs())
 	if err != nil {
 		return nil, err
 	}
 	return &Checkpoint{
 		Process:   "2-state",
-		N:         p.g.N(),
-		Round:     p.round,
-		Bits:      p.bits,
+		N:         p.N(),
+		Round:     p.Round(),
+		Bits:      p.core.Bits(),
 		States:    states,
 		Rngs:      rngs,
 		BlackBias: p.opts.blackBias,
@@ -131,46 +158,36 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 		return nil, err
 	}
 	o := buildOptions(opts)
-	o.blackBias = c.BlackBias
-	n := g.N()
-	p := &TwoState{
-		g:        g,
-		complete: n >= 2 && g.M() == n*(n-1)/2,
-		black:    make([]bool, n),
-		nbrBlack: make([]int32, n),
-		rngs:     rngs,
-		opts:     o,
-		round:    c.Round,
-		bits:     c.Bits,
+	if o.blackBias, err = checkpointBias(c); err != nil {
+		return nil, err
 	}
+	state := make([]uint8, g.N())
 	for u, s := range c.States {
-		p.black[u] = s == 1
+		state[u] = twoWhite
+		if s == 1 {
+			state[u] = twoBlack
+		}
 	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p, nil
+	return &TwoState{
+		core: restoreCore(g, twoStateRule{}, state, rngs, o, true, c),
+		opts: o,
+	}, nil
 }
 
 // Checkpoint snapshots the 3-state process.
 func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
-	states := make([]uint8, len(p.state))
-	for u, s := range p.state {
-		states[u] = uint8(s)
-	}
-	rngs, err := marshalRngs(p.rngs)
+	rngs, err := marshalRngs(p.core.Rngs())
 	if err != nil {
 		return nil, err
 	}
 	return &Checkpoint{
-		Process: "3-state",
-		N:       p.g.N(),
-		Round:   p.round,
-		Bits:    p.bits,
-		States:  states,
-		Rngs:    rngs,
+		Process:   "3-state",
+		N:         p.N(),
+		Round:     p.Round(),
+		Bits:      p.core.Bits(),
+		States:    append([]uint8(nil), p.core.States()...),
+		Rngs:      rngs,
+		BlackBias: p.opts.blackBias,
 	}, nil
 }
 
@@ -187,59 +204,43 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 		return nil, err
 	}
 	o := buildOptions(opts)
-	n := g.N()
-	p := &ThreeState{
-		g:        g,
-		state:    make([]TriState, n),
-		next:     make([]TriState, n),
-		nbrB1:    make([]int32, n),
-		nbrBlack: make([]int32, n),
-		rngs:     rngs,
-		round:    c.Round,
-		bits:     c.Bits,
-		mark:     make([]int32, n),
+	if o.blackBias, err = checkpointBias(c); err != nil {
+		return nil, err
 	}
+	state := make([]uint8, g.N())
 	for u, s := range c.States {
-		st := TriState(s)
-		switch st {
+		switch TriState(s) {
 		case TriWhite, TriBlack0, TriBlack1:
-			p.state[u] = st
+			state[u] = s
 		default:
 			return nil, fmt.Errorf("mis: invalid 3-state value %d at vertex %d", s, u)
 		}
 	}
-	for i := range p.mark {
-		p.mark[i] = -1
-	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p, nil
+	return &ThreeState{
+		core: restoreCore(g, threeStateRule{}, state, rngs, o, false, c),
+		opts: o,
+	}, nil
 }
 
 // Checkpoint snapshots the 3-color process, including its switch.
 func (p *ThreeColor) Checkpoint() (*Checkpoint, error) {
-	n := p.g.N()
-	states := make([]uint8, n)
+	n := p.N()
 	levels := make([]uint8, n)
 	for u := 0; u < n; u++ {
-		states[u] = uint8(p.color[u])
-		levels[u] = p.clock.Level(u)
+		levels[u] = p.rule.clock.Level(u)
 	}
-	rngs, err := marshalRngs(p.rngs)
+	rngs, err := marshalRngs(p.core.Rngs())
 	if err != nil {
 		return nil, err
 	}
 	return &Checkpoint{
 		Process:   "3-color",
 		N:         n,
-		Round:     p.round,
-		Bits:      p.bits,
-		States:    states,
+		Round:     p.Round(),
+		Bits:      p.core.Bits(),
+		States:    append([]uint8(nil), p.core.States()...),
 		Levels:    levels,
-		ClockBits: p.clock.RandomBits(),
+		ClockBits: p.rule.clock.RandomBits(),
 		Rngs:      rngs,
 		BlackBias: p.opts.blackBias,
 		ZetaLog2:  p.opts.switchZetaLog2,
@@ -260,36 +261,26 @@ func RestoreThreeColor(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeCol
 		return nil, err
 	}
 	o := buildOptions(opts)
-	o.blackBias = c.BlackBias
-	o.switchZetaLog2 = c.ZetaLog2
-	p := &ThreeColor{
-		g:        g,
-		color:    make([]Color, n),
-		next:     make([]Color, n),
-		nbrBlack: make([]int32, n),
-		clock:    newRestoredClock(g, c),
-		rngs:     rngs,
-		opts:     o,
-		round:    c.Round,
-		bits:     c.Bits,
-		mark:     make([]int32, n),
+	if o.blackBias, err = checkpointBias(c); err != nil {
+		return nil, err
 	}
+	o.switchZetaLog2 = c.ZetaLog2
+	if o.switchZetaLog2 == 0 || o.switchZetaLog2 > 64 {
+		return nil, fmt.Errorf("mis: checkpoint switch parameter k = %d outside [1, 64]", c.ZetaLog2)
+	}
+	state := make([]uint8, n)
 	for u, s := range c.States {
-		col := Color(s)
-		switch col {
+		switch Color(s) {
 		case ColorWhite, ColorBlack, ColorGray:
-			p.color[u] = col
+			state[u] = s
 		default:
 			return nil, fmt.Errorf("mis: invalid color value %d at vertex %d", s, u)
 		}
 	}
-	for i := range p.mark {
-		p.mark[i] = -1
-	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p, nil
+	rule := &threeColorRule{clock: newRestoredClock(g, c), rngs: rngs}
+	return &ThreeColor{
+		core: restoreCore(g, rule, state, rngs, o, false, c),
+		rule: rule,
+		opts: o,
+	}, nil
 }

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"math"
 	"testing"
 
 	"ssmis/internal/graph"
@@ -166,5 +167,73 @@ func TestCheckpointRestoredOptionsPreserved(t *testing.T) {
 	rRest := Run(restored, 100000)
 	if rFull != rRest {
 		t.Fatalf("biased runs diverged after restore: %+v vs %+v", rFull, rRest)
+	}
+}
+
+// A biased 3-state run must survive a checkpoint round-trip: the bias shapes
+// every coin, so dropping it silently diverges the restored execution.
+func TestCheckpointThreeStatePreservesBias(t *testing.T) {
+	g := graph.Gnp(80, 0.08, xrand.New(41))
+	full := NewThreeState(g, WithSeed(5), WithBlackBias(0.9))
+	paused := NewThreeState(g, WithSeed(5), WithBlackBias(0.9))
+	for i := 0; i < 4; i++ {
+		full.Step()
+		paused.Step()
+	}
+	cp, err := paused.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreThreeState(g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		full.Step()
+		restored.Step()
+		for u := 0; u < g.N(); u++ {
+			if full.State(u) != restored.State(u) {
+				t.Fatalf("round %d: restored biased run diverged at %d", full.Round(), u)
+			}
+		}
+	}
+	if full.RandomBits() != restored.RandomBits() {
+		t.Fatalf("bit accounting diverged: %d vs %d", full.RandomBits(), restored.RandomBits())
+	}
+}
+
+// Malformed checkpoints must fail with errors, not construction panics, and
+// a legacy zero bias means the default fair coin.
+func TestCheckpointBiasValidation(t *testing.T) {
+	g := graph.Path(4)
+	p := NewTwoState(g, WithSeed(1))
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.BlackBias = 0 // legacy checkpoints predate the field
+	q, err := RestoreTwoState(g, cp)
+	if err != nil {
+		t.Fatalf("legacy zero bias rejected: %v", err)
+	}
+	Run(q, 1000)
+	for _, bad := range []float64{-0.5, 1, 1.5} {
+		cp.BlackBias = bad
+		if _, err := RestoreTwoState(g, cp); err == nil {
+			t.Fatalf("bias %v accepted", bad)
+		}
+	}
+}
+
+func TestCheckpointBiasRejectsNaN(t *testing.T) {
+	g := graph.Path(4)
+	p := NewTwoState(g, WithSeed(1))
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.BlackBias = math.NaN()
+	if _, err := RestoreTwoState(g, cp); err == nil {
+		t.Fatal("NaN bias accepted")
 	}
 }

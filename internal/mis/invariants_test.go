@@ -16,26 +16,17 @@ import (
 
 func (p *TwoState) checkCounters(t *testing.T) {
 	t.Helper()
+	if err := p.core.CheckIntegrity(); err != nil {
+		t.Fatalf("2-state: %v", err)
+	}
 	blackCnt := 0
-	for u, b := range p.black {
-		if b {
+	for u := 0; u < p.N(); u++ {
+		if p.Black(u) {
 			blackCnt++
 		}
-		want := int32(0)
-		for _, v := range p.g.Neighbors(u) {
-			if p.black[v] {
-				want++
-			}
-		}
-		if got := p.blackNeighbors(u); got != want {
-			t.Fatalf("round %d: blackNeighbors(%d) = %d, recomputed %d", p.round, u, got, want)
-		}
 	}
-	if blackCnt != p.blackCnt {
-		t.Fatalf("round %d: blackCnt = %d, recomputed %d", p.round, p.blackCnt, blackCnt)
-	}
-	if got := p.countActive(); got != p.activeCnt {
-		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	if blackCnt != p.BlackCount() {
+		t.Fatalf("round %d: BlackCount = %d, recomputed %d", p.Round(), p.BlackCount(), blackCnt)
 	}
 }
 
@@ -59,23 +50,8 @@ func TestTwoStateCounterIntegrityUnderRunAndCorruption(t *testing.T) {
 
 func (p *ThreeState) checkCounters(t *testing.T) {
 	t.Helper()
-	for u := range p.state {
-		var wantB1, wantB int32
-		for _, v := range p.g.Neighbors(u) {
-			if p.state[v] == TriBlack1 {
-				wantB1++
-			}
-			if p.state[v].Black() {
-				wantB++
-			}
-		}
-		if p.nbrB1[u] != wantB1 || p.nbrBlack[u] != wantB {
-			t.Fatalf("round %d: counters of %d = (%d,%d), recomputed (%d,%d)",
-				p.round, u, p.nbrB1[u], p.nbrBlack[u], wantB1, wantB)
-		}
-	}
-	if got := p.countActive(); got != p.activeCnt {
-		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	if err := p.core.CheckIntegrity(); err != nil {
+		t.Fatalf("3-state: %v", err)
 	}
 }
 
@@ -99,19 +75,17 @@ func TestThreeStateCounterIntegrityUnderRunAndCorruption(t *testing.T) {
 
 func (p *ThreeColor) checkCounters(t *testing.T) {
 	t.Helper()
-	for u := range p.color {
-		var want int32
-		for _, v := range p.g.Neighbors(u) {
-			if p.color[v] == ColorBlack {
-				want++
-			}
-		}
-		if p.nbrBlack[u] != want {
-			t.Fatalf("round %d: nbrBlack(%d) = %d, recomputed %d", p.round, u, p.nbrBlack[u], want)
+	if err := p.core.CheckIntegrity(); err != nil {
+		t.Fatalf("3-color: %v", err)
+	}
+	grays := 0
+	for u := 0; u < p.N(); u++ {
+		if p.ColorOf(u) == ColorGray {
+			grays++
 		}
 	}
-	if got := p.countActive(); got != p.activeCnt {
-		t.Fatalf("round %d: activeCnt = %d, recomputed %d", p.round, p.activeCnt, got)
+	if grays != p.GrayCount() {
+		t.Fatalf("round %d: GrayCount = %d, recomputed %d", p.Round(), p.GrayCount(), grays)
 	}
 }
 

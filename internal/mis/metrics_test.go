@@ -44,11 +44,10 @@ func TestSnapshotUnstableZeroAtStabilization(t *testing.T) {
 func TestSnapshotGrayForThreeColor(t *testing.T) {
 	g := graph.Path(4)
 	p := NewThreeColor(g, WithSeed(3))
-	p.color[0] = ColorGray
-	p.color[1] = ColorGray
-	p.color[2] = ColorWhite
-	p.color[3] = ColorBlack
-	p.recount()
+	p.Corrupt(0, ColorGray, p.SwitchLevel(0))
+	p.Corrupt(1, ColorGray, p.SwitchLevel(1))
+	p.Corrupt(2, ColorWhite, p.SwitchLevel(2))
+	p.Corrupt(3, ColorBlack, p.SwitchLevel(3))
 	m := Snapshot(p)
 	if m.Gray != 2 || m.Black != 1 {
 		t.Fatalf("snapshot gray=%d black=%d, want 2, 1", m.Gray, m.Black)

@@ -1,132 +1,22 @@
 package mis
 
-// Intra-round parallelism for the 2-state simulator. A synchronous round is
-// embarrassingly parallel across vertices except for the black-neighbor
-// counter updates, which are made safe with atomic adds. Because every
-// vertex draws coins from its own stream, the execution is bit-identical to
-// the sequential engine regardless of goroutine scheduling — asserted by
-// differential tests.
+// Intra-round parallelism. The shared engine parallelizes the coin-drawing
+// and commit phases of a synchronous round across worker goroutines for all
+// three processes. Because every vertex draws coins from its own stream, the
+// execution is bit-identical to the sequential engine regardless of
+// goroutine scheduling — asserted by differential tests.
 //
 // The parallel path pays goroutine-coordination overhead per round, so it
 // only wins on large graphs (≳10^5 vertices at typical densities); it is
 // opt-in via WithWorkers.
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "fmt"
 
 // WithWorkers enables parallel round execution with k worker goroutines for
-// processes that support it (currently the 2-state simulator); k <= 1 keeps
-// the sequential engine.
+// all three processes; k <= 1 keeps the sequential engine. Negative k panics.
 func WithWorkers(k int) Option {
+	if k < 0 {
+		panic(fmt.Sprintf("mis: negative worker count %d", k))
+	}
 	return func(o *options) { o.workers = k }
-}
-
-// stepParallel executes one 2-state round with p.opts.workers goroutines.
-// Semantics are identical to the sequential Step.
-func (p *TwoState) stepParallel() {
-	if p.activeCnt == 0 {
-		return
-	}
-	workers := p.opts.workers
-	n := p.g.N()
-	chunk := (n + workers - 1) / workers
-
-	// Phase 1: evaluate the activity predicate against the frozen pre-round
-	// state and draw coins; collect flips per worker.
-	flipsPer := make([][]int32, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var flips []int32
-			var bits int64
-			for u := lo; u < hi; u++ {
-				if !p.active(u) {
-					continue
-				}
-				coinBlack, cost := p.opts.coin(p.rngs[u])
-				bits += cost
-				if coinBlack != p.black[u] {
-					flips = append(flips, int32(u))
-				}
-			}
-			flipsPer[w] = flips
-			atomic.AddInt64(&p.bits, bits)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	// Phase 2: commit flips; neighbor counters via atomic adds.
-	var blackDelta int64
-	for w := 0; w < workers; w++ {
-		flips := flipsPer[w]
-		if len(flips) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(flips []int32) {
-			defer wg.Done()
-			var delta int64
-			for _, u := range flips {
-				nowBlack := !p.black[u]
-				p.black[u] = nowBlack
-				d := int32(1)
-				if !nowBlack {
-					d = -1
-				}
-				delta += int64(d)
-				if !p.complete {
-					for _, v := range p.g.Neighbors(int(u)) {
-						atomic.AddInt32(&p.nbrBlack[v], d)
-					}
-				}
-			}
-			atomic.AddInt64(&blackDelta, delta)
-		}(flips)
-	}
-	wg.Wait()
-	p.blackCnt += int(blackDelta)
-
-	// Phase 3: recount actives in parallel.
-	p.round++
-	counts := make([]int, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := 0
-			for u := lo; u < hi; u++ {
-				if p.active(u) {
-					c++
-				}
-			}
-			counts[w] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	p.activeCnt = total
-	p.recordLocal()
 }

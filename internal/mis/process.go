@@ -17,6 +17,7 @@ package mis
 import (
 	"fmt"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
@@ -109,11 +110,25 @@ type options struct {
 	// (default 7, the paper's value); ignored by the other processes.
 	switchZetaLog2 uint
 	// trackLocal enables per-vertex stabilization-time recording (the
-	// "local complexity" of the execution) at O(n + Σ deg(I_t)) extra cost
-	// per round.
+	// "local complexity" of the execution); the engine tracks first-cover
+	// stamps either way, so the option only gates exposure.
 	trackLocal bool
-	// workers > 1 enables intra-round parallelism where supported.
+	// workers > 1 enables intra-round parallelism (all processes).
 	workers int
+	// fullRescan disables the engine's frontier worklist refresh — the
+	// pre-engine cost model, kept for differential tests and benchmarks.
+	fullRescan bool
+}
+
+// engine translates the option set into engine options; noopWhenIdle selects
+// the 2-state quiescence semantics for Step.
+func (o options) engine(noopWhenIdle bool) engine.Options {
+	return engine.Options{
+		Bias:         o.blackBias,
+		Workers:      o.workers,
+		NoopWhenIdle: noopWhenIdle,
+		FullRescan:   o.fullRescan,
+	}
 }
 
 // Option configures a process constructor.
@@ -143,16 +158,29 @@ func WithInitialBlack(black []bool) Option {
 // black (default 0.5). Values outside (0, 1) panic. Non-default biases
 // consume one 64-bit draw per coin instead of one bit.
 func WithBlackBias(p float64) Option {
-	if p <= 0 || p >= 1 {
+	// Written as a negated conjunction so NaN fails too.
+	if !(p > 0 && p < 1) {
 		panic(fmt.Sprintf("mis: black bias %v outside (0,1)", p))
 	}
 	return func(o *options) { o.blackBias = p }
 }
 
 // WithSwitchZetaLog2 sets the 3-color process's switch parameter ζ = 2^-k
-// (default k = 7, the paper's value). Other processes ignore it.
+// (default k = 7, the paper's value). Values outside [1, 64] panic. Other
+// processes ignore it.
 func WithSwitchZetaLog2(k uint) Option {
+	if k < 1 || k > 64 {
+		panic(fmt.Sprintf("mis: switch parameter k = %d outside [1, 64]", k))
+	}
 	return func(o *options) { o.switchZetaLog2 = k }
+}
+
+// WithFullRescan disables the engine's frontier worklist and re-derives
+// every vertex's membership from scratch each round — the pre-engine cost
+// model. Diagnostic/benchmark knob: results are identical, rounds are
+// strictly slower.
+func WithFullRescan() Option {
+	return func(o *options) { o.fullRescan = true }
 }
 
 // WithLocalTimes enables per-vertex stabilization-time recording: the round
@@ -164,71 +192,12 @@ func WithLocalTimes() Option {
 	return func(o *options) { o.trackLocal = true }
 }
 
-// localTimes is the shared per-vertex stabilization recorder. A vertex's
-// time is the first round at the end of which it was stable black or had a
-// stable black neighbor; coverage is monotone for all three processes, so
-// first-cover is well defined.
-type localTimes struct {
-	round []int32 // -1 until covered
-}
-
-func newLocalTimes(n int) *localTimes {
-	lt := &localTimes{round: make([]int32, n)}
-	for i := range lt.round {
-		lt.round[i] = -1
-	}
-	return lt
-}
-
-// record marks every currently uncovered vertex in N+(I) with the round.
-// inI must report "black with no black neighbor".
-func (lt *localTimes) record(g *graph.Graph, round int, inI func(u int) bool) {
-	for u := range lt.round {
-		if !inI(u) {
-			continue
-		}
-		if lt.round[u] < 0 {
-			lt.round[u] = int32(round)
-		}
-		for _, v := range g.Neighbors(u) {
-			if lt.round[v] < 0 {
-				lt.round[v] = int32(round)
-			}
-		}
-	}
-}
-
-// times returns a copy as ints (-1 = never stabilized).
-func (lt *localTimes) times() []int {
-	out := make([]int, len(lt.round))
-	for i, r := range lt.round {
-		out[i] = int(r)
-	}
-	return out
-}
-
-// reset clears all recorded times (used after corruption).
-func (lt *localTimes) reset() {
-	for i := range lt.round {
-		lt.round[i] = -1
-	}
-}
-
 func buildOptions(opts []Option) options {
 	o := options{seed: 1, init: InitRandom, blackBias: 0.5, switchZetaLog2: 7}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return o
-}
-
-// coin draws a black/not-black coin with the configured bias from rng,
-// returning the outcome and the number of random bits consumed.
-func (o options) coin(rng *xrand.Rand) (black bool, bits int64) {
-	if o.blackBias == 0.5 {
-		return rng.Bit(), 1
-	}
-	return rng.Bernoulli(o.blackBias), 64
 }
 
 // initialBlackMask materializes the initialization adversary as a black mask

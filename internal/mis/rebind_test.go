@@ -93,7 +93,7 @@ func TestRebindCliqueFastPathToggles(t *testing.T) {
 	Run(p, 10000)
 	g2 := g.WithEdgeToggled(0, 1)
 	p.Rebind(g2)
-	if p.complete {
+	if p.core.Complete() {
 		t.Fatal("fast path still enabled after losing an edge")
 	}
 	p.checkCounters(t)

@@ -3,6 +3,7 @@ package mis
 import (
 	"fmt"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/phaseclock"
 	"ssmis/internal/xrand"
@@ -35,32 +36,85 @@ func (c Color) String() string {
 	}
 }
 
-// ThreeColor is the paper's 3-color MIS process (Definition 28): the 2-state
-// update rule with two changes — an active black vertex randomizes between
-// black and gray (not white), and a gray vertex becomes white only when its
+// threeColorRule is Definition 28 as an engine rule: the 2-state update rule
+// with two changes — an active black vertex randomizes between black and
+// gray (not white), and a gray vertex becomes white only when its
 // (a, 3)-logarithmic switch (Definition 26, a = 512, ζ = 2^-7) is on. The
-// switch runs in parallel as a sub-process; total state space is
-// 3 × 6 = 18 states per vertex.
+// switch runs as the rule's mid-round sub-process on the same per-vertex
+// streams: a vertex draws its color coin first (if active) and its switch
+// coin second (if at the top level), the order the goroutine runtime
+// replays.
 //
-// Per round, a vertex draws its color coin first (if active) and its switch
-// coin second (if at the top level); the goroutine runtime replays the same
-// order, keeping engines coin-for-coin equal.
-type ThreeColor struct {
-	g        *graph.Graph
-	color    []Color
-	next     []Color
-	nbrBlack []int32
-	clock    *phaseclock.Clock
-	rngs     []*xrand.Rand
-	opts     options
-	round    int
-	bits     int64
+// Every gray vertex stays on the worklist — whether it drains is decided by
+// the switch value at evaluation time, which changes round to round outside
+// the engine's counter model.
+type threeColorRule struct {
+	clock *phaseclock.Clock
+	rngs  []*xrand.Rand
+}
 
-	activeCnt  int
-	stabilized bool
-	mark       []int32
-	markStamp  int32
-	lt         *localTimes
+func (*threeColorRule) NumStates() int { return 3 }
+
+func (*threeColorRule) Class(s uint8) uint8 {
+	if Color(s) == ColorBlack {
+		return engine.ClassA
+	}
+	return 0
+}
+
+func (*threeColorRule) Black(s uint8) bool { return Color(s) == ColorBlack }
+
+// Active mirrors the 2-state predicate: black with a black neighbor, or
+// white with no black neighbor. Gray vertices are never active — their only
+// transition is the switch-gated gray→white.
+func (*threeColorRule) Active(_ int, s uint8, a, _ int32) bool {
+	switch Color(s) {
+	case ColorBlack:
+		return a > 0
+	case ColorWhite:
+		return a == 0
+	default:
+		return false
+	}
+}
+
+func (r *threeColorRule) Touched(u int, s uint8, a, b int32) bool {
+	return Color(s) == ColorGray || r.Active(u, s, a, b)
+}
+
+func (r *threeColorRule) Evaluate(u int, s uint8, _, _ int32, d *engine.Draw) uint8 {
+	switch Color(s) {
+	case ColorBlack: // active: has a black neighbor
+		if d.Coin(u) {
+			return uint8(ColorBlack)
+		}
+		return uint8(ColorGray)
+	case ColorWhite: // active: no black neighbor
+		if d.Coin(u) {
+			return uint8(ColorBlack)
+		}
+		return uint8(ColorWhite)
+	default: // gray, gated by the switch value σ_{t-1}
+		if r.clock.On(u) {
+			return uint8(ColorWhite)
+		}
+		return uint8(ColorGray)
+	}
+}
+
+// MidRound advances the switch one synchronous round on the shared
+// per-vertex streams, after the color coins and before the commit.
+func (r *threeColorRule) MidRound() {
+	r.clock.Step(func(u int) *xrand.Rand { return r.rngs[u] })
+}
+
+// ThreeColor is the paper's 3-color MIS process (Definition 28) with the
+// randomized logarithmic switch sub-process; total state space is 3 × 6 = 18
+// states per vertex. It is a thin rule over the shared frontier engine.
+type ThreeColor struct {
+	core *engine.Core
+	rule *threeColorRule
+	opts options
 }
 
 var _ Process = (*ThreeColor)(nil)
@@ -73,254 +127,94 @@ func NewThreeColor(g *graph.Graph, opts ...Option) *ThreeColor {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	p := &ThreeColor{
-		g:        g,
-		color:    make([]Color, n),
-		next:     make([]Color, n),
-		nbrBlack: make([]int32, n),
-		// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7).
-		clock: phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2)),
-		rngs:  splitVertexStreams(n, master),
-		opts:  o,
-		mark:  make([]int32, n),
-	}
+	state := make([]uint8, n)
 	irng := initStream(n, master)
 	if o.initialBlack == nil && o.init == InitRandom {
-		for u := range p.color {
-			p.color[u] = Color(1 + irng.Intn(3))
+		for u := range state {
+			state[u] = uint8(1 + irng.Intn(3))
 		}
 	} else {
-		mask := initialBlackMask(g, o, irng)
-		for u, b := range mask {
+		for u, b := range initialBlackMask(g, o, irng) {
+			state[u] = uint8(ColorWhite)
 			if b {
-				p.color[u] = ColorBlack
-			} else {
-				p.color[u] = ColorWhite
+				state[u] = uint8(ColorBlack)
 			}
 		}
 	}
-	p.clock.RandomizeLevels(irng)
-	for i := range p.mark {
-		p.mark[i] = -1
+	// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7).
+	rule := &threeColorRule{
+		clock: phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2)),
+		rngs:  splitVertexStreams(n, master),
 	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p
-}
-
-// inI reports "black with no black neighbor" (membership in I_t).
-func (p *ThreeColor) inI(u int) bool {
-	return p.color[u] == ColorBlack && p.nbrBlack[u] == 0
-}
-
-func (p *ThreeColor) recordLocal() {
-	if p.lt != nil {
-		p.lt.record(p.g, p.round, p.inI)
+	rule.clock.RandomizeLevels(irng)
+	return &ThreeColor{
+		core: engine.New(g, rule, state, rule.rngs, o.engine(false)),
+		rule: rule,
+		opts: o,
 	}
 }
 
 // StabilizationTimes returns the per-vertex stabilization rounds recorded
 // so far (-1 = not yet stable); nil unless WithLocalTimes was set.
 func (p *ThreeColor) StabilizationTimes() []int {
-	if p.lt == nil {
-		return nil
-	}
-	return p.lt.times()
-}
-
-func (p *ThreeColor) recount() {
-	for u := range p.nbrBlack {
-		p.nbrBlack[u] = 0
-	}
-	for u, c := range p.color {
-		if c != ColorBlack {
-			continue
-		}
-		for _, v := range p.g.Neighbors(u) {
-			p.nbrBlack[v]++
-		}
-	}
-	p.activeCnt = p.countActive()
-	p.stabilized = p.coverageComplete()
-}
-
-// active mirrors the 2-state predicate: black with a black neighbor, or
-// white with no black neighbor. Gray vertices are never active — their only
-// transition is the switch-gated gray→white.
-func (p *ThreeColor) active(u int) bool {
-	switch p.color[u] {
-	case ColorBlack:
-		return p.nbrBlack[u] > 0
-	case ColorWhite:
-		return p.nbrBlack[u] == 0
-	default:
-		return false
-	}
-}
-
-func (p *ThreeColor) countActive() int {
-	c := 0
-	for u := range p.color {
-		if p.active(u) {
-			c++
-		}
-	}
-	return c
-}
-
-// coverageComplete reports N+(I_t) = V for I_t = stable black vertices;
-// monotone as in the other processes (neighbors of a stable black vertex can
-// only be white or gray, and neither ever turns black).
-func (p *ThreeColor) coverageComplete() bool {
-	p.markStamp++
-	stamp := p.markStamp
-	covered := 0
-	for u, c := range p.color {
-		if c != ColorBlack || p.nbrBlack[u] != 0 {
-			continue
-		}
-		if p.mark[u] != stamp {
-			p.mark[u] = stamp
-			covered++
-		}
-		for _, v := range p.g.Neighbors(u) {
-			if p.mark[v] != stamp {
-				p.mark[v] = stamp
-				covered++
-			}
-		}
-	}
-	return covered == p.g.N()
+	return stabilizationTimes(p.core, p.opts)
 }
 
 // Name implements Process.
 func (p *ThreeColor) Name() string { return "3-color" }
 
 // N implements Process.
-func (p *ThreeColor) N() int { return p.g.N() }
+func (p *ThreeColor) N() int { return p.core.Graph().N() }
 
 // Round implements Process.
-func (p *ThreeColor) Round() int { return p.round }
+func (p *ThreeColor) Round() int { return p.core.Round() }
 
 // States implements Process: 3 colors × 6 switch levels.
-func (p *ThreeColor) States() int { return 3 * p.clock.States() }
+func (p *ThreeColor) States() int { return 3 * p.rule.clock.States() }
 
 // RandomBits implements Process; includes the switch's coins.
-func (p *ThreeColor) RandomBits() int64 { return p.bits + p.clock.RandomBits() }
+func (p *ThreeColor) RandomBits() int64 { return p.core.Bits() + p.rule.clock.RandomBits() }
 
 // ActiveCount implements Process.
-func (p *ThreeColor) ActiveCount() int { return p.activeCnt }
+func (p *ThreeColor) ActiveCount() int { return p.core.ActiveCount() }
 
 // Black implements Process.
-func (p *ThreeColor) Black(u int) bool { return p.color[u] == ColorBlack }
+func (p *ThreeColor) Black(u int) bool { return Color(p.core.State(u)) == ColorBlack }
 
 // ColorOf returns the current color of u.
-func (p *ThreeColor) ColorOf(u int) Color { return p.color[u] }
+func (p *ThreeColor) ColorOf(u int) Color { return Color(p.core.State(u)) }
 
 // SwitchLevel returns u's current switch level (0..5).
-func (p *ThreeColor) SwitchLevel(u int) uint8 { return p.clock.Level(u) }
+func (p *ThreeColor) SwitchLevel(u int) uint8 { return p.rule.clock.Level(u) }
 
 // SwitchOn returns u's current switch value.
-func (p *ThreeColor) SwitchOn(u int) bool { return p.clock.On(u) }
+func (p *ThreeColor) SwitchOn(u int) bool { return p.rule.clock.On(u) }
 
 // GrayCount returns |Γ_t|.
-func (p *ThreeColor) GrayCount() int {
-	c := 0
-	for _, col := range p.color {
-		if col == ColorGray {
-			c++
-		}
-	}
-	return c
-}
+func (p *ThreeColor) GrayCount() int { return p.core.StateCount(uint8(ColorGray)) }
 
 // Stabilized implements Process.
-func (p *ThreeColor) Stabilized() bool { return p.stabilized }
+func (p *ThreeColor) Stabilized() bool { return p.core.Stabilized() }
 
 // Graph returns the underlying graph.
-func (p *ThreeColor) Graph() *graph.Graph { return p.g }
+func (p *ThreeColor) Graph() *graph.Graph { return p.core.Graph() }
 
 // Step implements Process: one synchronous round of Definition 28. The color
 // update reads the switch values σ_{t-1} from the end of the previous round;
 // the switch then advances in parallel.
-func (p *ThreeColor) Step() {
-	for u, c := range p.color {
-		switch {
-		case c == ColorBlack && p.nbrBlack[u] > 0:
-			black, cost := p.opts.coin(p.rngs[u])
-			if black {
-				p.next[u] = ColorBlack
-			} else {
-				p.next[u] = ColorGray
-			}
-			p.bits += cost
-		case c == ColorWhite && p.nbrBlack[u] == 0:
-			black, cost := p.opts.coin(p.rngs[u])
-			if black {
-				p.next[u] = ColorBlack
-			} else {
-				p.next[u] = ColorWhite
-			}
-			p.bits += cost
-		case c == ColorGray && p.clock.On(u):
-			p.next[u] = ColorWhite
-		default:
-			p.next[u] = c
-		}
-	}
-	// Advance the switch using the same per-vertex streams, after the color
-	// coins (fixed per-round draw order).
-	p.clock.Step(func(u int) *xrand.Rand { return p.rngs[u] })
-	// Commit colors and update black-neighbor counters.
-	for u := range p.color {
-		prev, cur := p.color[u], p.next[u]
-		if prev == cur {
-			continue
-		}
-		db := b2i(cur == ColorBlack) - b2i(prev == ColorBlack)
-		if db != 0 {
-			for _, v := range p.g.Neighbors(u) {
-				p.nbrBlack[v] += int32(db)
-			}
-		}
-		p.color[u] = cur
-	}
-	p.round++
-	p.activeCnt = p.countActive()
-	if !p.stabilized {
-		p.stabilized = p.coverageComplete()
-	}
-	p.recordLocal()
-}
+func (p *ThreeColor) Step() { p.core.Step() }
 
 // Rebind switches the process (and its switch sub-process) to a new graph
 // on the same vertex set, keeping all vertex states (topology churn).
 // It panics on order mismatch.
 func (p *ThreeColor) Rebind(g *graph.Graph) {
-	if g.N() != p.g.N() {
-		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
-	}
-	p.g = g
-	p.clock.Rebind(g)
-	p.stabilized = false
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
-	}
+	p.rule.clock.Rebind(g)
+	p.core.Rebind(g)
 }
 
 // Corrupt overwrites the color and switch level of u mid-run.
 func (p *ThreeColor) Corrupt(u int, c Color, level uint8) {
-	p.color[u] = c
-	p.clock.SetLevel(u, level)
-	p.stabilized = false
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
-	}
+	p.core.States()[u] = uint8(c)
+	p.rule.clock.SetLevel(u, level)
+	p.core.Rebuild()
 }

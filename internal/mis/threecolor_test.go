@@ -84,9 +84,8 @@ func TestThreeColorActiveBlackGoesBlackOrGray(t *testing.T) {
 	// becomes white in one step.
 	g := graph.Path(2)
 	p := NewThreeColor(g, WithSeed(8))
-	p.color[0] = ColorBlack
-	p.color[1] = ColorBlack
-	p.recount()
+	p.Corrupt(0, ColorBlack, p.SwitchLevel(0))
+	p.Corrupt(1, ColorBlack, p.SwitchLevel(1))
 	p.Step()
 	for u := 0; u < 2; u++ {
 		if p.ColorOf(u) == ColorWhite {
@@ -99,11 +98,8 @@ func TestThreeColorGrayDrainsViaSwitch(t *testing.T) {
 	// A gray vertex whose switch is on becomes white next round.
 	g := graph.Path(2)
 	p := NewThreeColor(g, WithSeed(9))
-	p.color[0] = ColorGray
-	p.color[1] = ColorWhite
-	p.clock.SetLevel(0, 1) // level 1 <= 2 -> on
-	p.clock.SetLevel(1, 5)
-	p.recount()
+	p.Corrupt(0, ColorGray, 1) // level 1 <= 2 -> on
+	p.Corrupt(1, ColorWhite, 5)
 	p.Step()
 	if p.ColorOf(0) != ColorWhite {
 		t.Fatalf("gray with switch on became %v, want white", p.ColorOf(0))
@@ -113,11 +109,8 @@ func TestThreeColorGrayDrainsViaSwitch(t *testing.T) {
 func TestThreeColorGrayHoldsWhileOff(t *testing.T) {
 	g := graph.Path(2)
 	p := NewThreeColor(g, WithSeed(10))
-	p.color[0] = ColorGray
-	p.color[1] = ColorBlack // freezes nothing for 0; gray ignores neighbors
-	p.clock.SetLevel(0, 5)  // off
-	p.clock.SetLevel(1, 5)
-	p.recount()
+	p.Corrupt(0, ColorGray, 5)  // switch off
+	p.Corrupt(1, ColorBlack, 5) // freezes nothing for 0; gray ignores neighbors
 	p.Step()
 	// Level 5 stays off with probability 1-ζ = 127/128; if by luck the coin
 	// fired, the level went to 4 (still off). Either way σ was off at the
@@ -152,10 +145,9 @@ func TestThreeColorCorruptionRecovery(t *testing.T) {
 func TestThreeColorGrayCount(t *testing.T) {
 	g := graph.Path(3)
 	p := NewThreeColor(g, WithSeed(12))
-	p.color[0] = ColorGray
-	p.color[1] = ColorGray
-	p.color[2] = ColorWhite
-	p.recount()
+	p.Corrupt(0, ColorGray, p.SwitchLevel(0))
+	p.Corrupt(1, ColorGray, p.SwitchLevel(1))
+	p.Corrupt(2, ColorWhite, p.SwitchLevel(2))
 	if p.GrayCount() != 2 {
 		t.Fatalf("GrayCount = %d, want 2", p.GrayCount())
 	}

@@ -3,6 +3,7 @@ package mis
 import (
 	"fmt"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
@@ -36,7 +37,8 @@ func (s TriState) String() string {
 // Black reports whether the state presents as black.
 func (s TriState) Black() bool { return s == TriBlack0 || s == TriBlack1 }
 
-// ThreeState is the paper's 3-state MIS process (Definition 5):
+// threeStateRule is Definition 5 as an engine rule. Counter A counts black
+// neighbors, counter B counts black1 neighbors:
 //
 //	if c(u) = black1, or (c(u) = black0 and no neighbor is black1), or
 //	   (c(u) = white and all neighbors are white):
@@ -44,25 +46,60 @@ func (s TriState) Black() bool { return s == TriBlack0 || s == TriBlack1 }
 //	else if c(u) = black0:   c'(u) = white    // it has a black1 neighbor
 //	else:                    c'(u) = c(u)     // white with a black neighbor
 //
-// A vertex with no neighbors vacuously satisfies "all neighbors are white".
-// Stable black vertices alternate between black1 and black0 forever, so
-// stabilization is detected through the monotone core I_t (black vertices
-// with no black neighbors) covering the graph, not through state quiescence.
-type ThreeState struct {
-	g        *graph.Graph
-	state    []TriState
-	next     []TriState
-	nbrB1    []int32 // black1 neighbors
-	nbrBlack []int32 // black neighbors (black1 + black0)
-	rngs     []*xrand.Rand
-	round    int
-	bits     int64
+// The worklist therefore holds every black vertex plus the active whites.
+type threeStateRule struct{}
 
-	activeCnt  int
-	stabilized bool
-	mark       []int32 // stamp buffer for the N+(I_t) coverage check
-	markStamp  int32
-	lt         *localTimes
+func (threeStateRule) NumStates() int { return 3 }
+
+func (threeStateRule) Class(s uint8) uint8 {
+	switch TriState(s) {
+	case TriBlack0:
+		return engine.ClassA
+	case TriBlack1:
+		return engine.ClassA | engine.ClassB
+	default:
+		return 0
+	}
+}
+
+func (threeStateRule) Black(s uint8) bool { return TriState(s).Black() }
+
+func (threeStateRule) Active(_ int, s uint8, a, b int32) bool {
+	switch TriState(s) {
+	case TriBlack1:
+		return true
+	case TriBlack0:
+		return b == 0
+	default: // white
+		return a == 0
+	}
+}
+
+func (threeStateRule) Touched(_ int, s uint8, a, _ int32) bool {
+	return TriState(s).Black() || a == 0
+}
+
+func (r threeStateRule) Evaluate(u int, s uint8, a, b int32, d *engine.Draw) uint8 {
+	if r.Active(u, s, a, b) {
+		if d.Coin(u) {
+			return uint8(TriBlack1)
+		}
+		return uint8(TriBlack0)
+	}
+	// Touched but not active: black0 with a black1 neighbor demotes.
+	return uint8(TriWhite)
+}
+
+// ThreeState is the paper's 3-state MIS process (Definition 5), a thin rule
+// over the shared frontier engine. Stable black vertices alternate between
+// black1 and black0 forever, so stabilization is detected through the
+// monotone core I_t (black vertices with no black neighbors) covering the
+// graph, not through state quiescence.
+type ThreeState struct {
+	core *engine.Core
+	opts options
+	// schedRng drives daemon selection (daemon.go), created on first use.
+	schedRng *xrand.Rand
 }
 
 var _ Process = (*ThreeState)(nil)
@@ -74,231 +111,72 @@ func NewThreeState(g *graph.Graph, opts ...Option) *ThreeState {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	p := &ThreeState{
-		g:        g,
-		state:    make([]TriState, n),
-		next:     make([]TriState, n),
-		nbrB1:    make([]int32, n),
-		nbrBlack: make([]int32, n),
-		rngs:     splitVertexStreams(n, master),
-		mark:     make([]int32, n),
-	}
+	state := make([]uint8, n)
 	irng := initStream(n, master)
 	if o.initialBlack == nil && o.init == InitRandom {
-		for u := range p.state {
-			p.state[u] = TriState(1 + irng.Intn(3))
+		for u := range state {
+			state[u] = uint8(1 + irng.Intn(3))
 		}
 	} else {
-		mask := initialBlackMask(g, o, irng)
-		for u, b := range mask {
+		for u, b := range initialBlackMask(g, o, irng) {
+			state[u] = uint8(TriWhite)
 			if b {
-				p.state[u] = TriBlack1
-			} else {
-				p.state[u] = TriWhite
+				state[u] = uint8(TriBlack1)
 			}
 		}
 	}
-	for i := range p.mark {
-		p.mark[i] = -1
-	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p
-}
-
-// inI reports "black with no black neighbor" (membership in I_t).
-func (p *ThreeState) inI(u int) bool {
-	return p.state[u].Black() && p.nbrBlack[u] == 0
-}
-
-func (p *ThreeState) recordLocal() {
-	if p.lt != nil {
-		p.lt.record(p.g, p.round, p.inI)
+	return &ThreeState{
+		core: engine.New(g, threeStateRule{}, state, splitVertexStreams(n, master), o.engine(false)),
+		opts: o,
 	}
 }
 
 // StabilizationTimes returns the per-vertex stabilization rounds recorded
 // so far (-1 = not yet stable); nil unless WithLocalTimes was set.
 func (p *ThreeState) StabilizationTimes() []int {
-	if p.lt == nil {
-		return nil
-	}
-	return p.lt.times()
-}
-
-// recount rebuilds derived counters and the stabilization flag from state.
-func (p *ThreeState) recount() {
-	for u := range p.nbrB1 {
-		p.nbrB1[u] = 0
-		p.nbrBlack[u] = 0
-	}
-	for u, s := range p.state {
-		if !s.Black() {
-			continue
-		}
-		for _, v := range p.g.Neighbors(u) {
-			p.nbrBlack[v]++
-			if s == TriBlack1 {
-				p.nbrB1[v]++
-			}
-		}
-	}
-	p.activeCnt = p.countActive()
-	p.stabilized = p.coverageComplete()
-}
-
-// active reports whether u randomizes this round per Definition 5.
-func (p *ThreeState) active(u int) bool {
-	switch p.state[u] {
-	case TriBlack1:
-		return true
-	case TriBlack0:
-		return p.nbrB1[u] == 0
-	default: // white
-		return p.nbrBlack[u] == 0
-	}
-}
-
-func (p *ThreeState) countActive() int {
-	c := 0
-	for u := range p.state {
-		if p.active(u) {
-			c++
-		}
-	}
-	return c
-}
-
-// coverageComplete reports whether N+(I_t) = V, where I_t is the set of
-// black vertices with no black neighbor. I_t is monotone non-decreasing
-// under the update rule, so this condition is permanent once reached and the
-// black set then equals I_t, an MIS.
-func (p *ThreeState) coverageComplete() bool {
-	p.markStamp++
-	stamp := p.markStamp
-	covered := 0
-	n := p.g.N()
-	for u, s := range p.state {
-		if !s.Black() || p.nbrBlack[u] != 0 {
-			continue
-		}
-		if p.mark[u] != stamp {
-			p.mark[u] = stamp
-			covered++
-		}
-		for _, v := range p.g.Neighbors(u) {
-			if p.mark[v] != stamp {
-				p.mark[v] = stamp
-				covered++
-			}
-		}
-	}
-	return covered == n
+	return stabilizationTimes(p.core, p.opts)
 }
 
 // Name implements Process.
 func (p *ThreeState) Name() string { return "3-state" }
 
 // N implements Process.
-func (p *ThreeState) N() int { return p.g.N() }
+func (p *ThreeState) N() int { return p.core.Graph().N() }
 
 // Round implements Process.
-func (p *ThreeState) Round() int { return p.round }
+func (p *ThreeState) Round() int { return p.core.Round() }
 
 // States implements Process.
 func (p *ThreeState) States() int { return 3 }
 
 // RandomBits implements Process.
-func (p *ThreeState) RandomBits() int64 { return p.bits }
+func (p *ThreeState) RandomBits() int64 { return p.core.Bits() }
 
 // ActiveCount implements Process.
-func (p *ThreeState) ActiveCount() int { return p.activeCnt }
+func (p *ThreeState) ActiveCount() int { return p.core.ActiveCount() }
 
 // Black implements Process.
-func (p *ThreeState) Black(u int) bool { return p.state[u].Black() }
+func (p *ThreeState) Black(u int) bool { return TriState(p.core.State(u)).Black() }
 
 // State returns the full state of u.
-func (p *ThreeState) State(u int) TriState { return p.state[u] }
+func (p *ThreeState) State(u int) TriState { return TriState(p.core.State(u)) }
 
 // Stabilized implements Process.
-func (p *ThreeState) Stabilized() bool { return p.stabilized }
+func (p *ThreeState) Stabilized() bool { return p.core.Stabilized() }
 
 // Graph returns the underlying graph.
-func (p *ThreeState) Graph() *graph.Graph { return p.g }
+func (p *ThreeState) Graph() *graph.Graph { return p.core.Graph() }
 
 // Step implements Process: one synchronous round of Definition 5.
-func (p *ThreeState) Step() {
-	for u, s := range p.state {
-		switch {
-		case p.active(u):
-			if p.rngs[u].Bit() {
-				p.next[u] = TriBlack1
-			} else {
-				p.next[u] = TriBlack0
-			}
-			p.bits++
-		case s == TriBlack0:
-			p.next[u] = TriWhite
-		default:
-			p.next[u] = s
-		}
-	}
-	// Commit and update neighbor counters for changed vertices.
-	for u := range p.state {
-		prev, cur := p.state[u], p.next[u]
-		if prev == cur {
-			continue
-		}
-		db1 := b2i(cur == TriBlack1) - b2i(prev == TriBlack1)
-		db := b2i(cur.Black()) - b2i(prev.Black())
-		if db1 != 0 || db != 0 {
-			for _, v := range p.g.Neighbors(u) {
-				p.nbrB1[v] += int32(db1)
-				p.nbrBlack[v] += int32(db)
-			}
-		}
-		p.state[u] = cur
-	}
-	p.round++
-	p.activeCnt = p.countActive()
-	if !p.stabilized {
-		p.stabilized = p.coverageComplete()
-	}
-	p.recordLocal()
-}
+func (p *ThreeState) Step() { p.core.Step() }
 
 // Rebind switches the process to a new graph on the same vertex set,
 // keeping all vertex states (topology churn). It panics on order mismatch.
-func (p *ThreeState) Rebind(g *graph.Graph) {
-	if g.N() != p.g.N() {
-		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
-	}
-	p.g = g
-	p.stabilized = false
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
-	}
-}
+func (p *ThreeState) Rebind(g *graph.Graph) { p.core.Rebind(g) }
 
-// Corrupt overwrites the state of u mid-run and rebuilds counters.
+// Corrupt overwrites the state of u mid-run and rebuilds the derived
+// structures.
 func (p *ThreeState) Corrupt(u int, s TriState) {
-	p.state[u] = s
-	p.stabilized = false
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
-	}
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
+	p.core.States()[u] = uint8(s)
+	p.core.Rebuild()
 }

@@ -104,9 +104,8 @@ func TestThreeStateBlack0WithBlack1NeighborTurnsWhite(t *testing.T) {
 	// white in one round.
 	g := graph.Path(2)
 	p := NewThreeState(g, WithSeed(9))
-	p.state[0] = TriBlack1
-	p.state[1] = TriBlack0
-	p.recount()
+	p.Corrupt(0, TriBlack1)
+	p.Corrupt(1, TriBlack0)
 	p.Step()
 	if p.State(1) != TriWhite {
 		t.Fatalf("black0 with black1 neighbor became %v, want white", p.State(1))
@@ -120,9 +119,8 @@ func TestThreeStateBlack0WithBlack1NeighborTurnsWhite(t *testing.T) {
 func TestThreeStateWhiteWithBlackNeighborFrozen(t *testing.T) {
 	g := graph.Path(2)
 	p := NewThreeState(g, WithSeed(10))
-	p.state[0] = TriBlack0
-	p.state[1] = TriWhite
-	p.recount()
+	p.Corrupt(0, TriBlack0)
+	p.Corrupt(1, TriWhite)
 	// 0 is black0 with no black1 neighbor -> randomizes (stays black);
 	// 1 is white with a black neighbor -> frozen white.
 	for i := 0; i < 50; i++ {

@@ -1,37 +1,65 @@
 package mis
 
 import (
-	"fmt"
-
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
+
+// Engine state values of the 2-state process.
+const (
+	twoWhite uint8 = 1
+	twoBlack uint8 = 2
+)
+
+// twoStateRule is Definition 4 as an engine rule: a vertex is active — and
+// privileged under a daemon — when black with a black neighbor or white with
+// no black neighbor, and an active vertex resets to a random color.
+type twoStateRule struct{}
+
+func (twoStateRule) NumStates() int { return 2 }
+
+func (twoStateRule) Class(s uint8) uint8 {
+	if s == twoBlack {
+		return engine.ClassA
+	}
+	return 0
+}
+
+func (twoStateRule) Black(s uint8) bool { return s == twoBlack }
+
+func (twoStateRule) Active(_ int, s uint8, a, _ int32) bool {
+	if s == twoBlack {
+		return a > 0
+	}
+	return a == 0
+}
+
+func (r twoStateRule) Touched(u int, s uint8, a, b int32) bool {
+	return r.Active(u, s, a, b)
+}
+
+func (twoStateRule) Evaluate(u int, _ uint8, _, _ int32, d *engine.Draw) uint8 {
+	if d.Coin(u) {
+		return twoBlack
+	}
+	return twoWhite
+}
 
 // TwoState is the paper's 2-state MIS process (Definition 4). Each vertex is
 // black or white; in every round, each active vertex — black with a black
 // neighbor, or white with no black neighbor — resets to a uniformly random
 // color. The process has stabilized exactly when no vertex is active, at
-// which point the black set is an MIS.
+// which point the black vertices form an MIS.
 //
-// The simulator maintains the number of black neighbors of every vertex
-// incrementally: a round costs O(n + Σ_{flipped u} deg(u)). Complete graphs
-// take a fast path using the global black count, making K_n rounds O(n).
+// The process is a thin rule over the shared frontier engine: a round costs
+// O(|active| + Σ_{flipped u} deg(u)), and complete graphs take a fast path
+// using the global black count.
 type TwoState struct {
-	g         *graph.Graph
-	complete  bool
-	black     []bool
-	nbrBlack  []int32 // number of black neighbors (unused on the fast path)
-	blackCnt  int
-	rngs      []*xrand.Rand
-	opts      options
-	round     int
-	bits      int64
-	activeCnt int
-	// scratch buffers reused across rounds
-	actives []int32
-	flips   []int32
-	// lt records per-vertex stabilization rounds when WithLocalTimes is set.
-	lt *localTimes
+	core *engine.Core
+	opts options
+	// schedRng drives daemon selection (daemon.go), created on first use.
+	schedRng *xrand.Rand
 }
 
 var _ Process = (*TwoState)(nil)
@@ -42,221 +70,117 @@ func NewTwoState(g *graph.Graph, opts ...Option) *TwoState {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	p := &TwoState{
-		g:        g,
-		complete: n >= 2 && g.M() == n*(n-1)/2,
-		black:    initialBlackMask(g, o, initStream(n, master)),
-		nbrBlack: make([]int32, n),
-		rngs:     splitVertexStreams(n, master),
-		opts:     o,
+	state := make([]uint8, n)
+	for u, b := range initialBlackMask(g, o, initStream(n, master)) {
+		state[u] = twoWhite
+		if b {
+			state[u] = twoBlack
+		}
 	}
-	if o.trackLocal {
-		p.lt = newLocalTimes(n)
-	}
-	p.recount()
-	p.recordLocal()
-	return p
-}
-
-// inI reports "black with no black neighbor" (membership in I_t).
-func (p *TwoState) inI(u int) bool {
-	return p.black[u] && p.blackNeighbors(u) == 0
-}
-
-func (p *TwoState) recordLocal() {
-	if p.lt != nil {
-		p.lt.record(p.g, p.round, p.inI)
+	return &TwoState{
+		core: engine.New(g, twoStateRule{}, state, splitVertexStreams(n, master), o.engine(true)),
+		opts: o,
 	}
 }
 
 // StabilizationTimes returns the per-vertex stabilization rounds recorded
 // so far (-1 = not yet stable); nil unless WithLocalTimes was set.
 func (p *TwoState) StabilizationTimes() []int {
-	if p.lt == nil {
-		return nil
-	}
-	return p.lt.times()
-}
-
-// recount rebuilds the derived counters from the black mask; used after
-// construction and after external corruption.
-func (p *TwoState) recount() {
-	p.blackCnt = 0
-	for u := range p.nbrBlack {
-		p.nbrBlack[u] = 0
-	}
-	for u, b := range p.black {
-		if !b {
-			continue
-		}
-		p.blackCnt++
-		if !p.complete {
-			for _, v := range p.g.Neighbors(u) {
-				p.nbrBlack[v]++
-			}
-		}
-	}
-	p.activeCnt = p.countActive()
-}
-
-func (p *TwoState) blackNeighbors(u int) int32 {
-	if p.complete {
-		c := int32(p.blackCnt)
-		if p.black[u] {
-			c--
-		}
-		return c
-	}
-	return p.nbrBlack[u]
-}
-
-// active reports the paper's activity predicate for u under current state.
-func (p *TwoState) active(u int) bool {
-	if p.black[u] {
-		return p.blackNeighbors(u) > 0
-	}
-	return p.blackNeighbors(u) == 0
-}
-
-func (p *TwoState) countActive() int {
-	c := 0
-	for u := range p.black {
-		if p.active(u) {
-			c++
-		}
-	}
-	return c
+	return stabilizationTimes(p.core, p.opts)
 }
 
 // Name implements Process.
 func (p *TwoState) Name() string { return "2-state" }
 
 // N implements Process.
-func (p *TwoState) N() int { return p.g.N() }
+func (p *TwoState) N() int { return p.core.Graph().N() }
 
 // Round implements Process.
-func (p *TwoState) Round() int { return p.round }
+func (p *TwoState) Round() int { return p.core.Round() }
 
 // States implements Process.
 func (p *TwoState) States() int { return 2 }
 
 // RandomBits implements Process.
-func (p *TwoState) RandomBits() int64 { return p.bits }
+func (p *TwoState) RandomBits() int64 { return p.core.Bits() }
 
 // ActiveCount implements Process.
-func (p *TwoState) ActiveCount() int { return p.activeCnt }
+func (p *TwoState) ActiveCount() int { return p.core.ActiveCount() }
 
 // Black implements Process.
-func (p *TwoState) Black(u int) bool { return p.black[u] }
+func (p *TwoState) Black(u int) bool { return p.core.State(u) == twoBlack }
 
 // Stabilized implements Process. For the 2-state process, "no active vertex"
-// is equivalent to "every vertex stable" (the black set is then an MIS).
-func (p *TwoState) Stabilized() bool { return p.activeCnt == 0 }
+// is equivalent to "every vertex covered by the stable core" (the black set
+// is then an MIS).
+func (p *TwoState) Stabilized() bool { return p.core.Stabilized() }
 
 // Graph returns the underlying graph.
-func (p *TwoState) Graph() *graph.Graph { return p.g }
+func (p *TwoState) Graph() *graph.Graph { return p.core.Graph() }
 
-// Step implements Process: one synchronous round of Definition 4.
-func (p *TwoState) Step() {
-	if p.opts.workers > 1 {
-		p.stepParallel()
-		return
-	}
-	if p.activeCnt == 0 {
-		return
-	}
-	p.actives = p.actives[:0]
-	for u := range p.black {
-		if p.active(u) {
-			p.actives = append(p.actives, int32(u))
-		}
-	}
-	// Draw all coins against the pre-round state, then commit flips.
-	p.flips = p.flips[:0]
-	for _, u := range p.actives {
-		coinBlack, cost := p.opts.coin(p.rngs[u])
-		p.bits += cost
-		if coinBlack != p.black[u] {
-			p.flips = append(p.flips, u)
-		}
-	}
-	for _, u := range p.flips {
-		nowBlack := !p.black[u]
-		p.black[u] = nowBlack
-		delta := int32(1)
-		if !nowBlack {
-			delta = -1
-		}
-		p.blackCnt += int(delta)
-		if !p.complete {
-			for _, v := range p.g.Neighbors(int(u)) {
-				p.nbrBlack[v] += delta
-			}
-		}
-	}
-	p.round++
-	p.activeCnt = p.countActive()
-	p.recordLocal()
-}
+// Step implements Process: one synchronous round of Definition 4. A step on
+// a quiescent process is a no-op (the round counter does not advance).
+func (p *TwoState) Step() { p.core.Step() }
 
 // Corrupt overwrites the color of vertex u mid-run (fault injection) and
-// rebuilds the derived counters. The per-vertex random streams are not
+// rebuilds the derived structures. The per-vertex random streams are not
 // touched, so a corrupted run remains deterministic.
 func (p *TwoState) Corrupt(u int, black bool) {
-	p.black[u] = black
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
+	s := twoWhite
+	if black {
+		s = twoBlack
 	}
+	p.core.States()[u] = s
+	p.core.Rebuild()
 }
 
 // CorruptAll applies an arbitrary new color vector (fault injection).
 func (p *TwoState) CorruptAll(black []bool) {
-	if len(black) != len(p.black) {
+	state := p.core.States()
+	if len(black) != len(state) {
 		panic("mis: CorruptAll mask length mismatch")
 	}
-	copy(p.black, black)
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
+	for u, b := range black {
+		state[u] = twoWhite
+		if b {
+			state[u] = twoBlack
+		}
 	}
+	p.core.Rebuild()
 }
 
-// Rebind switches the process to a new graph on the same vertex set,
-// keeping all vertex states — the topology-churn scenario: links changed,
-// nodes kept their one bit of state, and self-stabilization must absorb the
-// difference. It panics if the new graph has a different order.
-func (p *TwoState) Rebind(g *graph.Graph) {
-	if g.N() != p.g.N() {
-		panic(fmt.Sprintf("mis: Rebind to order %d != %d", g.N(), p.g.N()))
-	}
-	p.g = g
-	n := g.N()
-	p.complete = n >= 2 && g.M() == n*(n-1)/2
-	p.recount()
-	if p.lt != nil {
-		p.lt.reset()
-		p.recordLocal()
-	}
-}
+// Rebind switches the process to a new graph on the same vertex set, keeping
+// all vertex states — the topology-churn scenario: links changed, nodes kept
+// their one bit of state, and self-stabilization must absorb the difference.
+// It panics if the new graph has a different order.
+func (p *TwoState) Rebind(g *graph.Graph) { p.core.Rebind(g) }
 
 // BlackMask returns a copy of the current color vector.
 func (p *TwoState) BlackMask() []bool {
-	return append([]bool(nil), p.black...)
+	state := p.core.States()
+	out := make([]bool, len(state))
+	for u, s := range state {
+		out[u] = s == twoBlack
+	}
+	return out
 }
 
 // StableBlackCount returns |I_t|: black vertices with no black neighbor.
-func (p *TwoState) StableBlackCount() int {
-	c := 0
-	for u, b := range p.black {
-		if b && p.blackNeighbors(u) == 0 {
-			c++
-		}
-	}
-	return c
-}
+func (p *TwoState) StableBlackCount() int { return p.core.StableCoreCount() }
 
 // BlackCount returns |B_t|.
-func (p *TwoState) BlackCount() int { return p.blackCnt }
+func (p *TwoState) BlackCount() int { return p.core.ClassACount() }
+
+// stabilizationTimes converts the engine's first-cover stamps to the
+// StabilizationTimes contract (nil unless WithLocalTimes was requested).
+func stabilizationTimes(core *engine.Core, o options) []int {
+	if !o.trackLocal {
+		return nil
+	}
+	stamps := core.CoveredAt()
+	out := make([]int, len(stamps))
+	for i, r := range stamps {
+		out[i] = int(r)
+	}
+	return out
+}

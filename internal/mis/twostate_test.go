@@ -216,12 +216,11 @@ func TestTwoStateCompleteFastPathMatchesGeneric(t *testing.T) {
 	g := graph.Complete(40)
 	fast := NewTwoState(g, WithSeed(10))
 	slow := NewTwoState(g, WithSeed(10))
-	if !fast.complete {
+	if !fast.core.Complete() {
 		t.Fatal("complete graph not detected")
 	}
 	// Disable the fast path and rebuild counters.
-	slow.complete = false
-	slow.recount()
+	slow.core.DisableCompleteFastPath()
 	for !fast.Stabilized() || !slow.Stabilized() {
 		fast.Step()
 		slow.Step()

@@ -112,6 +112,33 @@ func (DistributedRandom) Select(privileged []int, rng *xrand.Rand) []int {
 	return out
 }
 
+// DaemonNames lists the selectable daemon models in presentation order.
+func DaemonNames() []string {
+	return []string{
+		"synchronous", "central-adversarial", "central-random",
+		"distributed-random", "round-robin",
+	}
+}
+
+// DaemonByName returns a fresh daemon instance for the given name (stateful
+// daemons like round-robin must not be shared across runs).
+func DaemonByName(name string) (Daemon, error) {
+	switch name {
+	case "synchronous":
+		return Synchronous{}, nil
+	case "central-adversarial":
+		return CentralAdversarial{}, nil
+	case "central-random":
+		return CentralRandom{}, nil
+	case "distributed-random":
+		return DistributedRandom{}, nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown daemon %q", name)
+	}
+}
+
 // Sequential is the two-state self-stabilizing MIS algorithm under a daemon.
 // A vertex is privileged when its state is inconsistent — black with a black
 // neighbor, or white with no black neighbor. A selected privileged vertex

@@ -13,8 +13,9 @@ type BeepingMIS = beeping.MIS
 
 // NewBeepingMIS starts the beeping-model protocol on g. initialBlack may be
 // nil for a uniformly random initial coloring. The execution is coin-for-
-// coin identical to NewTwoState(g, WithSeed(seed)) — the simulator and the
-// message-passing runtime are two engines for one process.
+// coin identical to NewTwoState(g, WithSeed(seed)) — the shared frontier
+// engine and the message-passing runtime are two engines for one process,
+// asserted across graph families by the cross-engine equivalence tests.
 func NewBeepingMIS(g *Graph, seed uint64, initialBlack []bool) *BeepingMIS {
 	return beeping.NewMIS(g, seed, initialBlack)
 }

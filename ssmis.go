@@ -3,6 +3,7 @@ package ssmis
 import (
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
+	"ssmis/internal/sched"
 	"ssmis/internal/verify"
 	"ssmis/internal/xrand"
 )
@@ -108,9 +109,9 @@ func WithBlackBias(p float64) Option { return mis.WithBlackBias(p) }
 // through each process's StabilizationTimes method (see experiment E14).
 func WithLocalTimes() Option { return mis.WithLocalTimes() }
 
-// WithWorkers enables intra-round parallelism with k goroutines for
-// processes that support it (currently the 2-state simulator); execution
-// remains bit-identical to the sequential engine.
+// WithWorkers enables intra-round parallelism with k goroutines for all
+// three processes; execution remains bit-identical to the sequential
+// engine. Negative k panics.
 func WithWorkers(k int) Option { return mis.WithWorkers(k) }
 
 // ToggleEdge returns a copy of g with edge {u,v} added if absent, removed
@@ -139,6 +140,20 @@ func NewThreeState(g *Graph, opts ...Option) *mis.ThreeState {
 func NewThreeColor(g *Graph, opts ...Option) *mis.ThreeColor {
 	return mis.NewThreeColor(g, opts...)
 }
+
+// Daemon selects which privileged (inconsistent) vertices move in a
+// daemon-scheduled step; see NewTwoState/NewThreeState's DaemonRun methods.
+type Daemon = sched.Daemon
+
+// DaemonNames lists the selectable daemon schedules: synchronous,
+// central-adversarial, central-random, distributed-random, round-robin.
+func DaemonNames() []string { return sched.DaemonNames() }
+
+// DaemonByName returns a fresh daemon instance for one of DaemonNames. The
+// 2-state process stabilizes with probability 1 under every daemon (the
+// transformation of [28, 31] the paper cites); the 3-state process needs a
+// fair daemon — its reactive demotion livelocks under central-adversarial.
+func DaemonByName(name string) (Daemon, error) { return sched.DaemonByName(name) }
 
 // Run advances p until stabilization or maxRounds rounds (0 selects a
 // generous default cap that no healthy run should hit).

@@ -122,8 +122,8 @@ func TestPublicAPIVerifyRejectsBadSets(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	exps := ssmis.Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("%d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("%d experiments, want 18", len(exps))
 	}
 	if _, ok := ssmis.ExperimentByID("E1"); !ok {
 		t.Fatal("E1 missing")
@@ -260,5 +260,30 @@ func TestPublicAPIBlackBias(t *testing.T) {
 	}
 	if err := ssmis.VerifyMIS(g, ssmis.BlackSet(p)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDaemonSchedules(t *testing.T) {
+	g := ssmis.GnpAvgDegree(300, 8, 44)
+	for _, name := range ssmis.DaemonNames() {
+		d, err := ssmis.DaemonByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ssmis.NewTwoState(g, ssmis.WithSeed(9))
+		steps, ok := p.DaemonRun(d, 0)
+		if !ok {
+			t.Fatalf("2-state under %s: no stabilization in %d steps", name, steps)
+		}
+		if err := ssmis.VerifyMIS(g, ssmis.BlackSet(p)); err != nil {
+			t.Fatalf("2-state under %s: %v", name, err)
+		}
+		if p.Moves() == 0 || p.Steps() != steps {
+			t.Fatalf("2-state under %s: accounting moves=%d steps=%d/%d",
+				name, p.Moves(), p.Steps(), steps)
+		}
+	}
+	if _, err := ssmis.DaemonByName("bogus"); err == nil {
+		t.Fatal("bogus daemon accepted")
 	}
 }
