@@ -9,8 +9,10 @@
 // Graphs: gnp, clique, path, cycle, star, tree, grid, cliques, regular, or
 // file (-in <edge-list>). Processes: 2state, 3state, 3color. Engines: sim
 // (default), node (the goroutine-per-node beeping/stone-age runtime).
-// With -trials N, the run is repeated over consecutive seeds and summary
-// statistics are printed.
+// With -trials N, the seeds run on the work-stealing batch pool
+// (-workers sizes it, -batch sets the scheduler chunk) sharing one graph
+// build and per-worker engine scratch; the summary reports wall time and
+// the exact seeds of failed runs.
 package main
 
 import (
@@ -18,8 +20,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"ssmis/internal/batch"
 	"ssmis/internal/beeping"
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/graphio"
 	"ssmis/internal/mis"
@@ -61,6 +66,8 @@ func run() int {
 		engine    = flag.String("engine", "sim", "execution engine: sim|node")
 		daemon    = flag.String("daemon", "", "schedule the process under a daemon: "+strings.Join(sched.DaemonNames(), "|")+" (2state/3state only)")
 		trials    = flag.Int("trials", 1, "run this many seeds (seed, seed+1, ...) and print summary statistics")
+		workers   = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
+		chunk     = flag.Int("batch", 0, "seeds per scheduler chunk for -trials (0 = auto)")
 	)
 	flag.Parse()
 
@@ -95,7 +102,7 @@ func run() int {
 		return runDaemon(g, *procKind, *daemon, init, *seed, *maxRounds)
 	}
 	if *trials > 1 {
-		return runTrials(g, *procKind, init, *seed, *trials, limit)
+		return runTrials(g, *procKind, init, *seed, *trials, limit, *workers, *chunk)
 	}
 	var proc mis.Process
 	switch *procKind {
@@ -182,45 +189,70 @@ func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed 
 	return 0
 }
 
-// runTrials executes many seeded runs and prints distribution statistics.
-func runTrials(g *graph.Graph, procKind string, init mis.Init, seed uint64, trials, limit int) int {
-	newProc := func(s uint64) mis.Process {
-		switch procKind {
-		case "2state":
-			return mis.NewTwoState(g, mis.WithSeed(s), mis.WithInit(init))
-		case "3state":
-			return mis.NewThreeState(g, mis.WithSeed(s), mis.WithInit(init))
-		case "3color":
-			return mis.NewThreeColor(g, mis.WithSeed(s), mis.WithInit(init))
-		default:
-			return nil
-		}
-	}
-	if newProc(seed) == nil {
+// runTrials executes many seeded runs on a work-stealing batch pool and
+// prints distribution statistics, per-cell wall time, and — when trials
+// fail — the exact seeds to replay.
+func runTrials(g *graph.Graph, procKind string, init mis.Init, seed uint64, trials, limit, workers, chunk int) int {
+	switch procKind {
+	case "2state", "3state", "3color":
+	default:
 		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", procKind)
 		return 2
 	}
-	var rounds []float64
-	failures := 0
-	for i := 0; i < trials; i++ {
-		p := newProc(seed + uint64(i))
-		res := mis.Run(p, limit)
-		if !res.Stabilized || verify.MIS(g, p.Black) != nil {
-			failures++
-			continue
+	mkProc := func(rc *engine.RunContext, s uint64) mis.Process {
+		opts := []mis.Option{mis.WithRunContext(rc), mis.WithSeed(s), mis.WithInit(init)}
+		switch procKind {
+		case "3state":
+			return mis.NewThreeState(g, opts...)
+		case "3color":
+			return mis.NewThreeColor(g, opts...)
+		default:
+			return mis.NewTwoState(g, opts...)
 		}
-		rounds = append(rounds, float64(res.Rounds))
 	}
-	if len(rounds) == 0 {
-		fmt.Printf("all %d trials failed to stabilize within %d rounds\n", trials, limit)
+	seeds := make([]uint64, trials)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	rounds := stats.NewQuantileStream()
+	var failedSeeds []uint64
+	pool := batch.NewPool(workers)
+	defer pool.Close()
+	start := time.Now()
+	pool.SubmitOpts([]batch.Shard{{
+		Build: func() *graph.Graph { return g },
+		Seeds: seeds,
+		Run: func(rc *engine.RunContext, g *graph.Graph, _ int, s uint64) batch.Outcome {
+			p := mkProc(rc, s)
+			res := mis.Run(p, limit)
+			if !res.Stabilized || verify.MIS(g, p.Black) != nil {
+				return batch.Outcome{Failed: true}
+			}
+			return batch.Outcome{Rounds: res.Rounds}
+		},
+	}}, batch.SubmitOptions{ChunkSize: chunk}, func(o batch.Outcome) {
+		if o.Failed {
+			failedSeeds = append(failedSeeds, o.Seed)
+			return
+		}
+		rounds.Add(float64(o.Rounds))
+	}).Wait()
+	elapsed := time.Since(start)
+	if rounds.N() == 0 {
+		fmt.Printf("all %d trials failed to stabilize within %d rounds (seeds %v)\n",
+			trials, limit, failedSeeds)
 		return 1
 	}
-	s := stats.Summarize(rounds)
+	s := rounds.Summary()
 	fmt.Printf("%s on n=%d m=%d, %d trials (seeds %d..%d), init %s:\n",
 		procKind, g.N(), g.M(), trials, seed, seed+uint64(trials)-1, init)
 	fmt.Printf("  rounds: %s (95%% CI ±%.2f)\n", s, s.MeanCI95())
-	if failures > 0 {
-		fmt.Printf("  %d/%d trials hit the round cap\n", failures, trials)
+	fmt.Printf("  cell wall time: %v on %d workers (%.1f runs/s)\n",
+		elapsed.Round(time.Millisecond), pool.Workers(),
+		float64(trials)/elapsed.Seconds())
+	if len(failedSeeds) > 0 {
+		fmt.Printf("  %d/%d trials hit the round cap (failed seeds: %v)\n",
+			len(failedSeeds), trials, failedSeeds)
 		return 1
 	}
 	return 0

@@ -73,10 +73,10 @@ func TestRunTrialsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rc := runTrials(g, "2state", mis.InitRandom, 1, 5, 100000); rc != 0 {
+	if rc := runTrials(g, "2state", mis.InitRandom, 1, 5, 100000, 2, 1); rc != 0 {
 		t.Fatalf("runTrials returned %d", rc)
 	}
-	if rc := runTrials(g, "bogus", mis.InitRandom, 1, 5, 1000); rc != 2 {
+	if rc := runTrials(g, "bogus", mis.InitRandom, 1, 5, 1000, 0, 0); rc != 2 {
 		t.Fatalf("bogus process returned %d, want 2", rc)
 	}
 }

@@ -2,10 +2,18 @@
 //
 // Usage:
 //
-//	missweep -run all            # every experiment at full scale
+//	missweep -run all                  # every experiment at full scale
 //	missweep -run E1,E7 -scale 0.25
+//	missweep -run all -workers 8       # one shared work-stealing pool, 8 workers
+//	missweep -run E6 -batch 4 -times   # 4-seed scheduler chunks + per-cell wall times
 //	missweep -list
-//	missweep -run E9 -csv        # machine-readable output
+//	missweep -run E9 -csv              # machine-readable output
+//
+// All selected experiments submit their (graph, seed) jobs to ONE shared
+// work-stealing pool (internal/batch) and run concurrently — a straggler
+// cell in E7 no longer serializes the sweep, because E8's jobs fill the
+// idle workers. Output order and table contents are independent of -workers
+// (outcomes aggregate in trial order).
 //
 // Experiment ids and claims are listed by -list and indexed in DESIGN.md §3;
 // the full-scale outputs are recorded in EXPERIMENTS.md.
@@ -16,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"ssmis/internal/batch"
 	"ssmis/internal/experiment"
 )
 
@@ -28,12 +38,15 @@ func main() {
 
 func run() int {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		scale  = flag.Float64("scale", 1.0, "cost multiplier (sizes and trials); 0.25 = quick")
-		seed   = flag.Uint64("seed", 2023, "master seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csv    = flag.Bool("csv", false, "emit CSV instead of fixed-width tables")
-		outDir = flag.String("out", "", "also write one CSV file per table into this directory")
+		runIDs  = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "cost multiplier (sizes and trials); 0.25 = quick")
+		seed    = flag.Uint64("seed", 2023, "master seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of fixed-width tables")
+		outDir  = flag.String("out", "", "also write one CSV file per table into this directory")
+		workers = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS); all experiments share one pool")
+		chunk   = flag.Int("batch", 0, "seeds per scheduler chunk (0 = auto); smaller chunks steal more")
+		times   = flag.Bool("times", false, "report the slowest per-cell wall times for each experiment")
 	)
 	flag.Parse()
 
@@ -68,12 +81,43 @@ func run() int {
 			return 1
 		}
 	}
-	cfg := experiment.Config{Scale: *scale, Seed: *seed}
-	for _, e := range selected {
-		start := time.Now()
+
+	// One shared work-stealing pool for the whole invocation.
+	pool := batch.NewPool(*workers)
+	defer pool.Close()
+
+	type outcome struct {
+		tables  []experiment.Table
+		cells   *experiment.CellLog
+		elapsed time.Duration
+	}
+	// Experiments run concurrently so their pool jobs interleave, but the
+	// number in flight is bounded by the pool size: experiment goroutines
+	// also do work outside the pool (building each cell's fixed graphs,
+	// rendering tables), and an unbounded launch would hold every
+	// experiment's graphs resident at once and oversubscribe the CPU
+	// regardless of -workers.
+	sem := make(chan struct{}, pool.Workers())
+	results := make([]chan outcome, len(selected))
+	for i, e := range selected {
+		results[i] = make(chan outcome, 1)
+		go func(e experiment.Experiment, out chan<- outcome) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cells := &experiment.CellLog{}
+			cfg := experiment.Config{Scale: *scale, Seed: *seed, Pool: pool, Cells: cells, Chunk: *chunk}
+			start := time.Now()
+			tables := e.Run(cfg)
+			out <- outcome{tables: tables, cells: cells, elapsed: time.Since(start)}
+		}(e, results[i])
+	}
+
+	sweepStart := time.Now()
+	for i, e := range selected {
+		res := <-results[i]
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)
 		fmt.Printf("paper claim: %s\n\n", e.Claim)
-		for i, tab := range e.Run(cfg) {
+		for j, tab := range res.tables {
 			if *csv {
 				fmt.Print(tab.CSV())
 			} else {
@@ -81,7 +125,7 @@ func run() int {
 			}
 			fmt.Println()
 			if *outDir != "" {
-				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), j)
 				path := filepath.Join(*outDir, name)
 				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "missweep: write %s: %v\n", path, err)
@@ -89,7 +133,25 @@ func run() int {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		cells := res.cells.Cells()
+		jobs := 0
+		for _, c := range cells {
+			jobs += c.Jobs
+		}
+		fmt.Printf("(%s completed in %v; %d cells, %d scheduled jobs)\n",
+			e.ID, res.elapsed.Round(time.Millisecond), len(cells), jobs)
+		if *times && len(cells) > 0 {
+			sort.Slice(cells, func(a, b int) bool { return cells[a].Elapsed > cells[b].Elapsed })
+			top := cells
+			if len(top) > 3 {
+				top = top[:3]
+			}
+			for _, c := range top {
+				fmt.Printf("  cell %-32s %4d jobs  %v\n", c.Label, c.Jobs, c.Elapsed.Round(time.Millisecond))
+			}
+		}
+		fmt.Println()
 	}
+	fmt.Printf("(sweep total %v on %d workers)\n", time.Since(sweepStart).Round(time.Millisecond), pool.Workers())
 	return 0
 }

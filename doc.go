@@ -9,26 +9,62 @@
 //
 // # Architecture
 //
-// All three processes are thin rule definitions — an activity predicate
-// plus a per-vertex transition over at most two neighbor counters — running
-// on one shared engine (internal/engine). The engine owns bitset-packed
-// vertex sets, incremental neighbor counters with a complete-graph fast
-// path, and a frontier worklist: a round evaluates only the vertices whose
-// transition can fire and re-derives memberships only where the
-// neighborhood changed, so the long tail of a run — where almost nothing
-// flips — costs O(Σ deg(flipped)) per round instead of O(n). Stabilization
-// is detected through the monotone stable core I_t (black vertices with no
-// black neighbor) covering the graph, whose first-cover stamps double as
-// the per-vertex local stabilization times (WithLocalTimes). The engine
-// also provides intra-round parallelism for every process (WithWorkers)
-// and daemon-scheduled execution bridging internal/sched into the
-// randomized processes (the DaemonRun methods, the misrun -daemon flag and
-// experiment E18).
+// Execution is layered: engine → batch → trials/experiments → commands.
+//
+// Layer 1 — internal/engine, one run. All three processes are thin rule
+// definitions — an activity predicate plus a per-vertex transition over at
+// most two neighbor counters — running on one shared engine. The engine
+// owns bitset-packed vertex sets, incremental neighbor counters with a
+// complete-graph fast path, and a frontier worklist: a round evaluates only
+// the vertices whose transition can fire and re-derives memberships only
+// where the neighborhood changed, so the long tail of a run — where almost
+// nothing flips — costs O(Σ deg(flipped)) per round instead of O(n).
+// Stabilization is detected through the monotone stable core I_t (black
+// vertices with no black neighbor) covering the graph, whose first-cover
+// stamps double as the per-vertex local stabilization times
+// (WithLocalTimes). The engine also provides intra-round parallelism for
+// every process (WithWorkers), daemon-scheduled execution bridging
+// internal/sched into the randomized processes (the DaemonRun methods, the
+// misrun -daemon flag and experiment E18), and reusable per-worker run
+// contexts (engine.RunContext): all per-run scratch — bitsets, counters,
+// coverage stamps, per-vertex generator arrays — leases from the worker's
+// context, so a worker amortizes its allocations across thousands of runs.
+//
+// Layer 2 — internal/batch, many runs. Every multi-run workload executes on
+// a work-stealing batch scheduler: work is submitted as shards (one graph,
+// many seeds — the graph builds once, lazily, and is shared read-only
+// across all its seeds), shards are cut into chunks dealt onto per-worker
+// deques, and an idle worker steals from the top of another's deque, so a
+// few huge cells spread across the pool while small cells stay local. Runs
+// are pure functions of (graph, seed); outcomes are delivered to each
+// batch's sink in job order through a reorder buffer and folded into
+// streaming aggregates (Welford mean/CI and counting-map quantiles in
+// internal/stats), so summaries never materialize per-run slices and are
+// bit-identical at any worker count, under any steal schedule.
+//
+// Layer 3 — trials and experiments. The public RunSeeds/RunSeedsOn APIs are
+// thin adapters over a batch pool (TrialSummary reports failed seeds
+// explicitly), and the experiment harness (internal/experiment, E1–E18)
+// submits every cell — stabilization grids, fault attacks, churn chains,
+// runtime-equivalence replays, daemon schedules — as batch jobs.
+//
+// Layer 4 — commands. cmd/missweep creates ONE pool per invocation, shared
+// by all selected experiments running concurrently (-workers sizes the
+// pool, -batch sets the chunk size, -times reports per-cell wall times), so
+// a straggler cell in one experiment no longer serializes the sweep:
+//
+//	missweep -run all -scale 0.25 -workers 8 -times
+//
+// cmd/misrun's -trials mode runs its seeds on the same substrate (also
+// -workers/-batch) and reports cell wall time plus the exact seeds of any
+// failed runs. BENCH_batch.json records the scheduler against the old
+// per-cell pools.
 //
 // Because every vertex draws coins from its own stream split off the master
 // seed, an execution is a pure function of (graph, seed, initializer) — and
-// the engine, its parallel path, and the goroutine-per-node runtimes in
-// internal/beeping and internal/stoneage all draw exactly the same coins.
+// the engine, its parallel path, its batch-scheduled runs, and the
+// goroutine-per-node runtimes in internal/beeping and internal/stoneage all
+// draw exactly the same coins.
 //
 // The three processes:
 //

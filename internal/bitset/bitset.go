@@ -31,6 +31,26 @@ func New(n int) *Set {
 // Len returns the capacity (universe size) of the set.
 func (s *Set) Len() int { return s.n }
 
+// Reset reshapes s into an empty set over the universe [0, n), reusing the
+// existing word allocation when its capacity suffices. It is the recycling
+// primitive behind the engine's per-worker run contexts: a batch worker
+// resets the same sets for every run instead of allocating fresh ones.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
 // Add inserts i into the set.
 func (s *Set) Add(i int) {
 	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)

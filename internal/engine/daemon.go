@@ -37,6 +37,13 @@ func (e *Core) Steps() int { return e.steps }
 // Moves returns the total number of vertex moves under daemon scheduling.
 func (e *Core) Moves() int { return e.moves }
 
+// SetDaemonAccounting overwrites the daemon step/move counters (checkpoint
+// restore of a daemon-scheduled execution).
+func (e *Core) SetDaemonAccounting(steps, moves int) {
+	e.steps = steps
+	e.moves = moves
+}
+
 // DaemonStep lets d select among the privileged (touched) vertices and moves
 // the selected ones once. rng drives the daemon's own selection randomness.
 // It returns false — without consuming schedule randomness — when no vertex
@@ -75,6 +82,7 @@ func (e *Core) DaemonStep(d sched.Daemon, rng *xrand.Rand) bool {
 	e.round++
 	e.steps++
 	e.refresh()
+	e.syncScratch()
 	return true
 }
 

@@ -95,6 +95,11 @@ type Options struct {
 	// scratch each round — the pre-engine cost model. Kept for differential
 	// tests and benchmarks; never faster.
 	FullRescan bool
+	// Ctx, when non-nil, supplies reusable per-worker scratch (bitsets,
+	// counters, coverage stamps) in place of fresh allocations — see
+	// RunContext. Constructing another engine on the same context invalidates
+	// this one. Results are bit-identical with or without a context.
+	Ctx *RunContext
 }
 
 // Draw hands process coins to Rule.Evaluate. Each worker owns one, so bit
@@ -154,7 +159,8 @@ type Core struct {
 	dirty        *bitset.Set
 	dirtyAll     bool
 	draw         Draw
-	forceGeneric bool // DisableCompleteFastPath
+	forceGeneric bool        // DisableCompleteFastPath
+	ctx          *RunContext // non-nil when scratch is leased, not owned
 
 	// daemon accounting (daemon.go)
 	steps int
@@ -178,18 +184,23 @@ func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Op
 		panic(fmt.Sprintf("engine: negative worker count %d", opts.Workers))
 	}
 	e := &Core{
-		g:         g,
-		rule:      rule,
-		opts:      opts,
-		state:     initial,
-		rngs:      rngs,
-		stateCnt:  make([]int, rule.NumStates()+1),
-		work:      bitset.New(n),
-		active:    bitset.New(n),
-		inI:       bitset.New(n),
-		coveredAt: make([]int32, n),
-		dirty:     bitset.New(n),
-		draw:      Draw{rngs: rngs, bias: opts.Bias},
+		g:     g,
+		rule:  rule,
+		opts:  opts,
+		state: initial,
+		rngs:  rngs,
+		ctx:   opts.Ctx,
+		draw:  Draw{rngs: rngs, bias: opts.Bias},
+	}
+	if e.ctx != nil {
+		e.ctx.lease(e, n, rule.NumStates())
+	} else {
+		e.stateCnt = make([]int, rule.NumStates()+1)
+		e.work = bitset.New(n)
+		e.active = bitset.New(n)
+		e.inI = bitset.New(n)
+		e.coveredAt = make([]int32, n)
+		e.dirty = bitset.New(n)
 	}
 	for s := uint8(1); int(s) <= rule.NumStates(); s++ {
 		if rule.Class(s)&ClassB != 0 {
@@ -326,6 +337,7 @@ func (e *Core) Step() {
 	e.commit(e.changes)
 	e.round++
 	e.refresh()
+	e.syncScratch()
 }
 
 // commit applies a batch of transitions and records the dirty frontier.
@@ -425,9 +437,13 @@ func (e *Core) Rebuild() {
 	n := e.g.N()
 	e.complete = !e.forceGeneric && n >= 2 && e.g.M() == n*(n-1)/2
 	if !e.complete && e.nbrA == nil {
-		e.nbrA = make([]int32, n)
-		if e.useB {
-			e.nbrB = make([]int32, n)
+		if e.ctx != nil {
+			e.ctx.leaseCounters(e, n, e.useB)
+		} else {
+			e.nbrA = make([]int32, n)
+			if e.useB {
+				e.nbrB = make([]int32, n)
+			}
 		}
 	}
 	for i := range e.stateCnt {

@@ -1,0 +1,156 @@
+package engine
+
+// Per-worker run contexts. A sweep-scale workload executes thousands of
+// independent runs back to back on each worker; constructing a fresh Core
+// per run used to allocate every bitset, counter array, coverage stamp
+// vector, and per-vertex random stream anew — O(n) allocations per run that
+// the garbage collector pays for at sweep scale. A RunContext owns one
+// reusable copy of all of that scratch. Leasing is destructive by design:
+// constructing a new engine (or process) on a context invalidates whatever
+// previously leased from it, which is exactly the lifecycle of a batch
+// worker — run to completion, fold the result into a streaming aggregate,
+// reuse the scratch for the next run.
+
+import (
+	"ssmis/internal/bitset"
+	"ssmis/internal/xrand"
+)
+
+// RunContext is reusable per-worker scratch for engine (and process)
+// construction. It is not safe for concurrent use: one context belongs to
+// one worker. The zero value is not usable; call NewRunContext.
+//
+// Lease discipline: every buffer handed out remains owned by the context.
+// The next New/lease on the same context recycles the same memory, so a
+// Core (or a process wrapping one) built on a context must not be used
+// after the context's next lease. Checkpoints taken from context-backed
+// processes copy what they need and stay valid.
+type RunContext struct {
+	work, active, inI, dirty bitset.Set
+	coveredAt                []int32
+	nbrA, nbrB               []int32
+	stateCnt                 []int
+	changes                  []change
+	priv                     []int
+
+	state []uint8
+	mask  []bool
+	rands []xrand.Rand
+	rngs  []*xrand.Rand
+}
+
+// NewRunContext returns an empty context; buffers grow on first lease and
+// are reused afterwards.
+func NewRunContext() *RunContext { return &RunContext{} }
+
+// growI32 reshapes buf to length n, zeroed, reusing capacity when possible.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInts mirrors growI32 for int slices.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Uint8Buf leases the context's per-vertex state buffer, zeroed, length n.
+// Process constructors use it for the initial state vector they hand to New.
+func (c *RunContext) Uint8Buf(n int) []uint8 {
+	if cap(c.state) < n {
+		c.state = make([]uint8, n)
+	} else {
+		c.state = c.state[:n]
+		for i := range c.state {
+			c.state[i] = 0
+		}
+	}
+	return c.state
+}
+
+// BoolBuf leases the context's per-vertex mask buffer, zeroed, length n
+// (initialization adversaries materialize their black mask here).
+func (c *RunContext) BoolBuf(n int) []bool {
+	if cap(c.mask) < n {
+		c.mask = make([]bool, n)
+	} else {
+		c.mask = c.mask[:n]
+		for i := range c.mask {
+			c.mask[i] = false
+		}
+	}
+	return c.mask
+}
+
+// VertexStreams leases the context's per-vertex generator array, reseeded to
+// master.Split(u) for each vertex u — the allocation-free counterpart of
+// splitting n fresh streams per run.
+func (c *RunContext) VertexStreams(n int, master *xrand.Rand) []*xrand.Rand {
+	if cap(c.rands) < n {
+		c.rands = make([]xrand.Rand, n)
+		c.rngs = make([]*xrand.Rand, n)
+	}
+	c.rands = c.rands[:n]
+	c.rngs = c.rngs[:n]
+	for u := 0; u < n; u++ {
+		master.SplitInto(&c.rands[u], uint64(u))
+		c.rngs[u] = &c.rands[u]
+	}
+	return c.rngs
+}
+
+// lease wires the context's scratch into e in place of fresh allocations.
+// Called from New before Rebuild derives every structure. The context holds
+// no reference back to e (that would pin the previous run's graph for the
+// worker's whole lifetime); instead the engine returns append-grown scratch
+// through syncScratch after every round.
+func (c *RunContext) lease(e *Core, n, numStates int) {
+	c.work.Reset(n)
+	c.active.Reset(n)
+	c.inI.Reset(n)
+	c.dirty.Reset(n)
+	e.work = &c.work
+	e.active = &c.active
+	e.inI = &c.inI
+	e.dirty = &c.dirty
+	c.coveredAt = growI32(c.coveredAt, n)
+	e.coveredAt = c.coveredAt
+	c.stateCnt = growInts(c.stateCnt, numStates+1)
+	e.stateCnt = c.stateCnt
+	e.changes = c.changes[:0]
+	e.priv = c.priv[:0]
+}
+
+// syncScratch hands the engine's append-grown per-round scratch back to the
+// owning context so the next lease reuses its capacity. Called at the end
+// of every round; a no-op without a context.
+func (e *Core) syncScratch() {
+	if e.ctx != nil {
+		e.ctx.changes = e.changes
+		e.ctx.priv = e.priv
+	}
+}
+
+// leaseCounters leases the neighbor-counter arrays; the engine requests them
+// only off the complete-graph fast path.
+func (c *RunContext) leaseCounters(e *Core, n int, useB bool) {
+	c.nbrA = growI32(c.nbrA, n)
+	e.nbrA = c.nbrA
+	if useB {
+		c.nbrB = growI32(c.nbrB, n)
+		e.nbrB = c.nbrB
+	}
+}

@@ -30,14 +30,14 @@ func e01CliqueTwoState() Experiment {
 			var tailSample []float64
 			for _, n := range sizes {
 				g := graph.Complete(n)
-				m := runTrials(KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
+				m := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
 				scalingRow(&scaling, n, m)
-				if len(m.rounds) > 0 {
+				if m.count() > 0 {
 					ns = append(ns, n)
 					means = append(means, m.summary().Mean)
 					maxes = append(maxes, m.summary().Max)
 					if n == sizes[len(sizes)-1] {
-						tailSample = m.rounds
+						tailSample = m.rounds.Values()
 					}
 				}
 			}
@@ -95,9 +95,9 @@ func e02DisjointCliques() Experiment {
 			for _, s := range roots {
 				n := s * s
 				g := graph.DisjointCliques(s, s)
-				m := runTrials(KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
+				m := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
 				scalingRow(&t, n, m)
-				if len(m.rounds) > 0 {
+				if m.count() > 0 {
 					ns = append(ns, n)
 					means = append(means, m.summary().Mean)
 				}
@@ -128,9 +128,9 @@ func e03CliqueThreeState() Experiment {
 			var max2, max3 []float64
 			for _, n := range sizes {
 				g := graph.Complete(n)
-				m2 := runTrials(KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
-				m3 := runTrials(KindThreeState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n)+1)
-				if len(m2.rounds) == 0 || len(m3.rounds) == 0 {
+				m2 := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
+				m3 := runTrials(cfg, KindThreeState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n)+1)
+				if m2.count() == 0 || m3.count() == 0 {
 					continue
 				}
 				s2, s3 := m2.summary(), m3.summary()
@@ -168,24 +168,28 @@ func e04BoundedArboricity() Experiment {
 			families := []struct {
 				name string
 				gen  func(n int, seed uint64) *graph.Graph
+				// det marks deterministic families (the gen ignores its
+				// seed): their cells submit as fixed shards, so the batch
+				// scheduler builds the graph once instead of once per trial.
+				det bool
 			}{
-				{"random-tree", func(n int, seed uint64) *graph.Graph {
+				{name: "random-tree", gen: func(n int, seed uint64) *graph.Graph {
 					return graph.RandomTree(n, xrand.New(seed))
 				}},
-				{"prufer-tree", func(n int, seed uint64) *graph.Graph {
+				{name: "prufer-tree", gen: func(n int, seed uint64) *graph.Graph {
 					return graph.UniformLabeledTree(n, xrand.New(seed))
 				}},
-				{"path", func(n int, _ uint64) *graph.Graph { return graph.Path(n) }},
-				{"grid", func(n int, _ uint64) *graph.Graph {
+				{name: "path", gen: func(n int, _ uint64) *graph.Graph { return graph.Path(n) }, det: true},
+				{name: "grid", gen: func(n int, _ uint64) *graph.Graph {
 					s := int(math.Sqrt(float64(n)))
 					return graph.Grid(s, s)
-				}},
-				{"degen-3", func(n int, seed uint64) *graph.Graph {
+				}, det: true},
+				{name: "degen-3", gen: func(n int, seed uint64) *graph.Graph {
 					return graph.BoundedDegeneracyRandom(n, 3, xrand.New(seed))
 				}},
-				{"caterpillar", func(n int, _ uint64) *graph.Graph {
+				{name: "caterpillar", gen: func(n int, _ uint64) *graph.Graph {
 					return graph.Caterpillar(n/9, 8)
-				}},
+				}, det: true},
 			}
 			var tables []Table
 			for _, fam := range families {
@@ -193,11 +197,15 @@ func e04BoundedArboricity() Experiment {
 				var ns []int
 				var means []float64
 				for _, n := range sizes {
-					gen := func(seed uint64) *graph.Graph { return fam.gen(n, seed) }
-					m := runTrials(KindTwoState, gen, trials, 0, cfg.Seed+uint64(n))
-					actualN := fam.gen(n, 1).N()
+					probe := fam.gen(n, 1)
+					actualN := probe.N()
+					gen := perSeed(func(seed uint64) *graph.Graph { return fam.gen(n, seed) })
+					if fam.det {
+						gen = fixedGraph(probe)
+					}
+					m := runTrials(cfg, KindTwoState, gen, trials, 0, cfg.Seed+uint64(n))
 					scalingRow(&t, actualN, m)
-					if len(m.rounds) > 0 {
+					if m.count() > 0 {
 						ns = append(ns, actualN)
 						means = append(means, m.summary().Mean)
 					}
@@ -230,8 +238,8 @@ func e05MaxDegree() Experiment {
 				gen := func(seed uint64) *graph.Graph {
 					return graph.RandomRegular(n, d, xrand.New(seed))
 				}
-				m := runTrials(KindTwoState, gen, trials, 0, cfg.Seed+uint64(d))
-				if len(m.rounds) == 0 {
+				m := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(d))
+				if m.count() == 0 {
 					t.AddRow(d, "-", "-", "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 					continue
 				}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/goodgraph"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
@@ -61,9 +62,9 @@ func e06GnpTwoState() Experiment {
 				for _, n := range sizes {
 					p := reg.p(n)
 					gen := func(seed uint64) *graph.Graph { return graph.Gnp(n, p, xrand.New(seed)) }
-					m := runTrials(KindTwoState, gen, trials, 0, cfg.Seed+uint64(n))
+					m := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(n))
 					scalingRow(&t, n, m)
-					if len(m.rounds) > 0 {
+					if m.count() > 0 {
 						ns = append(ns, n)
 						means = append(means, m.summary().Mean)
 					}
@@ -103,9 +104,9 @@ func e07GnpThreeColor() Experiment {
 				for _, n := range sizes {
 					p := reg.p(n)
 					gen := func(seed uint64) *graph.Graph { return graph.Gnp(n, p, xrand.New(seed)) }
-					m2 := runTrials(KindTwoState, gen, trials, 0, cfg.Seed+uint64(n))
-					m3 := runTrials(KindThreeColor, gen, trials, 4*mis.DefaultRoundCap(n), cfg.Seed+uint64(n)+7)
-					if len(m2.rounds) == 0 || len(m3.rounds) == 0 {
+					m2 := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(n))
+					m3 := runTrials(cfg, KindThreeColor, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed+uint64(n)+7)
+					if m2.count() == 0 || m3.count() == 0 {
 						t.AddRow(n, "-", "-", "-", "-", "-",
 							fmt.Sprintf("capped 2st=%d 3col=%d", m2.failures, m3.failures))
 						continue
@@ -144,23 +145,43 @@ func e08LogSwitch() Experiment {
 				Columns: []string{"n", "a·ln n", "(a/6)·ln n", "max OFF", "min OFF*", "max ON",
 					"S1", "S2", "S3"},
 			}
-			for _, n := range sizes {
-				rng := xrand.New(cfg.Seed + uint64(n))
-				g := graph.Gnp(n, 0.5, rng)
-				diam2 := g.DiameterAtMostTwo()
-				s := phaseclock.NewStandalone(g, cfg.Seed+uint64(n), phaseclock.WithZetaLog2(zetaLog2))
-				lnN := math.Log(float64(n))
-				burnIn := 32
-				for r := 0; r < burnIn; r++ {
-					s.Step()
-				}
-				horizon := int(30 * a * lnN / 6)
-				maxOff, minOff, maxOn := switchRunStats(s, 0, horizon)
-				s1 := float64(maxOff) <= a*lnN
-				s2 := !diam2 || float64(minOff) >= a/6*lnN
-				s3 := !diam2 || maxOn <= 3
-				t.AddRow(n, a*lnN, a/6*lnN, maxOff, minOff, maxOn, pass(s1), pass(s2), pass(s3))
+			// One pool job per size; in-order delivery keeps the rows sorted.
+			sizeSeeds := make([]uint64, len(sizes))
+			for i, n := range sizes {
+				sizeSeeds[i] = cfg.Seed + uint64(n)
 			}
+			type switchRow struct {
+				n                     int
+				lnN                   float64
+				maxOff, minOff, maxOn int
+				s1, s2, s3            bool
+			}
+			runJobsOver(cfg, "E8 switch runs", sizeSeeds,
+				func(_ *engine.RunContext, t int, seed uint64) any {
+					n := sizes[t]
+					rng := xrand.New(seed)
+					g := graph.Gnp(n, 0.5, rng)
+					diam2 := g.DiameterAtMostTwo()
+					s := phaseclock.NewStandalone(g, seed, phaseclock.WithZetaLog2(zetaLog2))
+					lnN := math.Log(float64(n))
+					burnIn := 32
+					for r := 0; r < burnIn; r++ {
+						s.Step()
+					}
+					horizon := int(30 * a * lnN / 6)
+					maxOff, minOff, maxOn := switchRunStats(s, 0, horizon)
+					return switchRow{
+						n: n, lnN: lnN, maxOff: maxOff, minOff: minOff, maxOn: maxOn,
+						s1: float64(maxOff) <= a*lnN,
+						s2: !diam2 || float64(minOff) >= a/6*lnN,
+						s3: !diam2 || maxOn <= 3,
+					}
+				},
+				func(_ int, payload any) {
+					r := payload.(switchRow)
+					t.AddRow(r.n, a*r.lnN, a/6*r.lnN, r.maxOff, r.minOff, r.maxOn,
+						pass(r.s1), pass(r.s2), pass(r.s3))
+				})
 			t.Notes = append(t.Notes,
 				"min OFF* excludes the first (possibly truncated) run; S2/S3 evaluated only when the sampled graph has diameter ≤ 2",
 				"claim shape: all three columns marked pass")
@@ -170,16 +191,31 @@ func e08LogSwitch() Experiment {
 				Title:   "E8b: property (S1) on high-diameter graphs (path)",
 				Columns: []string{"n", "a·ln n", "max OFF", "S1"},
 			}
-			for _, n := range cfg.sizes([]int{64, 256}) {
-				g := graph.Path(n)
-				s := phaseclock.NewStandalone(g, cfg.Seed+uint64(n)+3, phaseclock.WithZetaLog2(zetaLog2))
-				lnN := math.Log(float64(n))
-				for r := 0; r < 32; r++ {
-					s.Step()
-				}
-				maxOff, _, _ := switchRunStats(s, n/2, int(20*float64(a)*lnN/6))
-				t2.AddRow(n, float64(a)*lnN, maxOff, pass(float64(maxOff) <= float64(a)*lnN))
+			pathSizes := cfg.sizes([]int{64, 256})
+			pathSeeds := make([]uint64, len(pathSizes))
+			for i, n := range pathSizes {
+				pathSeeds[i] = cfg.Seed + uint64(n) + 3
 			}
+			type pathRow struct {
+				n      int
+				maxOff int
+			}
+			runJobsOver(cfg, "E8b high-diameter S1", pathSeeds,
+				func(_ *engine.RunContext, t int, seed uint64) any {
+					n := pathSizes[t]
+					g := graph.Path(n)
+					s := phaseclock.NewStandalone(g, seed, phaseclock.WithZetaLog2(zetaLog2))
+					for r := 0; r < 32; r++ {
+						s.Step()
+					}
+					maxOff, _, _ := switchRunStats(s, n/2, int(20*float64(a)*math.Log(float64(n))/6))
+					return pathRow{n: n, maxOff: maxOff}
+				},
+				func(_ int, payload any) {
+					r := payload.(pathRow)
+					lnN := math.Log(float64(r.n))
+					t2.AddRow(r.n, float64(a)*lnN, r.maxOff, pass(float64(r.maxOff) <= float64(a)*lnN))
+				})
 			return []Table{t, t2}
 		},
 	}
@@ -249,21 +285,40 @@ func e09GoodGraph() Experiment {
 				lnN := math.Log(float64(n))
 				ps := []float64{0.05, 0.2, 2 * math.Sqrt(lnN/float64(n)), 0.6}
 				for _, p := range ps {
+					p := p
 					var passCount [7]int
 					good := 0
-					for trial := 0; trial < trials; trial++ {
-						rng := xrand.New(cfg.Seed + uint64(n)*1000 + uint64(trial))
-						g := graph.Gnp(n, p, rng)
-						rep := goodgraph.Checker{Samples: 40}.Check(g, p, rng)
-						for k := 1; k <= 6; k++ {
-							if rep.Pass[k] {
-								passCount[k]++
-							}
-						}
-						if rep.Good() {
-							good++
-						}
+					// One pool job per sampled graph.
+					trialSeeds := make([]uint64, trials)
+					for trial := range trialSeeds {
+						trialSeeds[trial] = cfg.Seed + uint64(n)*1000 + uint64(trial)
 					}
+					type goodRep struct {
+						pass [7]bool
+						good bool
+					}
+					runJobsOver(cfg, fmt.Sprintf("E9 n=%d p=%.3f", n, p), trialSeeds,
+						func(_ *engine.RunContext, _ int, seed uint64) any {
+							rng := xrand.New(seed)
+							g := graph.Gnp(n, p, rng)
+							rep := goodgraph.Checker{Samples: 40}.Check(g, p, rng)
+							out := goodRep{good: rep.Good()}
+							for k := 1; k <= 6; k++ {
+								out.pass[k] = rep.Pass[k]
+							}
+							return out
+						},
+						func(_ int, payload any) {
+							rep := payload.(goodRep)
+							for k := 1; k <= 6; k++ {
+								if rep.pass[k] {
+									passCount[k]++
+								}
+							}
+							if rep.good {
+								good++
+							}
+						})
 					frac := func(k int) string {
 						return fmt.Sprintf("%d/%d", passCount[k], trials)
 					}

@@ -11,6 +11,7 @@ import (
 
 	"ssmis/internal/baseline"
 	"ssmis/internal/beeping"
+	"ssmis/internal/engine"
 	"ssmis/internal/fault"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
@@ -32,7 +33,7 @@ func e10Baselines() Experiment {
 			trials := cfg.trials(30)
 			type workload struct {
 				name string
-				gen  func(seed uint64) *graph.Graph
+				gen  graphGen
 				n    int
 			}
 			n := int(2048 * math.Min(cfg.Scale*2, 1))
@@ -40,12 +41,12 @@ func e10Baselines() Experiment {
 				n = 256
 			}
 			workloads := []workload{
-				{"gnp-avg16", func(seed uint64) *graph.Graph {
+				{"gnp-avg16", perSeed(func(seed uint64) *graph.Graph {
 					return graph.GnpAvgDegree(n, 16, xrand.New(seed))
-				}, n},
-				{"tree", func(seed uint64) *graph.Graph {
+				}), n},
+				{"tree", perSeed(func(seed uint64) *graph.Graph {
 					return graph.RandomTree(n, xrand.New(seed))
-				}, n},
+				}), n},
 				{"clique", fixedGraph(graph.Complete(n / 4)), n / 4},
 			}
 			var tables []Table
@@ -56,12 +57,12 @@ func e10Baselines() Experiment {
 						"rnd bits/vertex/round", "self-stab", "communication"},
 				}
 				for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
-					m := runTrials(kind, w.gen, trials, 4*mis.DefaultRoundCap(w.n), cfg.Seed)
-					if len(m.rounds) == 0 {
+					m := runTrials(cfg, kind, w.gen, trials, 4*mis.DefaultRoundCap(w.n), cfg.Seed)
+					if m.count() == 0 {
 						continue
 					}
 					s := m.summary()
-					bitsPerVR := stats.Mean(m.bits) / s.Mean / float64(w.n)
+					bitsPerVR := m.bits.Mean() / s.Mean / float64(w.n)
 					states := map[Kind]string{KindTwoState: "2", KindThreeState: "3", KindThreeColor: "18"}[kind]
 					comm := map[Kind]string{
 						KindTwoState:   "beeping+CD (1 bit)",
@@ -70,31 +71,42 @@ func e10Baselines() Experiment {
 					}[kind]
 					t.AddRow(kind.String(), s.Mean, s.Max, states, bitsPerVR, "yes", comm)
 				}
-				// Luby and permutation greedy.
-				var lubyRounds, permRounds []float64
-				master := xrand.New(cfg.Seed + 99)
-				for i := 0; i < trials; i++ {
-					seed := master.Split(uint64(i)).Uint64()
-					g := w.gen(seed)
-					lubyRounds = append(lubyRounds, float64(baseline.Luby(g, seed).Rounds))
-					permRounds = append(permRounds, float64(baseline.PermutationGreedy(g, seed).Rounds))
-				}
-				sl, sp := stats.Summarize(lubyRounds), stats.Summarize(permRounds)
-				t.AddRow("Luby", sl.Mean, sl.Max, "Θ(log n)", "64", "no", "Θ(log n)-bit msgs")
-				t.AddRow("perm-greedy", sp.Mean, sp.Max, "Θ(log n)", "64 (once)", "no", "Θ(log n)-bit msgs")
+				// Luby and permutation greedy, one pool job per trial.
+				lubyRounds, permRounds := stats.NewStream(), stats.NewStream()
+				type basePair struct{ luby, perm float64 }
+				runJobs(cfg, "E10 baselines "+w.name, trials, cfg.Seed+99,
+					func(_ *engine.RunContext, _ int, seed uint64) any {
+						g := w.gen.at(seed)
+						return basePair{
+							luby: float64(baseline.Luby(g, seed).Rounds),
+							perm: float64(baseline.PermutationGreedy(g, seed).Rounds),
+						}
+					},
+					func(_ int, payload any) {
+						p := payload.(basePair)
+						lubyRounds.Add(p.luby)
+						permRounds.Add(p.perm)
+					})
+				t.AddRow("Luby", lubyRounds.Mean(), lubyRounds.Max(), "Θ(log n)", "64", "no", "Θ(log n)-bit msgs")
+				t.AddRow("perm-greedy", permRounds.Mean(), permRounds.Max(), "Θ(log n)", "64 (once)", "no", "Θ(log n)-bit msgs")
 				// Sequential under central daemon: steps normalized by n to
 				// compare against synchronous rounds.
-				var seqMoves []float64
-				for i := 0; i < trials; i++ {
-					seed := master.Split(uint64(1000 + i)).Uint64()
-					g := w.gen(seed)
-					s := sched.NewSequential(g, sched.CentralAdversarial{}, seed)
-					s.Run(10 * g.N())
-					seqMoves = append(seqMoves, float64(s.Moves()))
+				seqSeeds := make([]uint64, trials)
+				master := xrand.New(cfg.Seed + 99)
+				for i := range seqSeeds {
+					seqSeeds[i] = master.Split(uint64(1000 + i)).Uint64()
 				}
-				ss := stats.Summarize(seqMoves)
-				t.AddRow("sequential (central)", fmt.Sprintf("%.0f moves", ss.Mean),
-					fmt.Sprintf("%.0f moves", ss.Max), "2", "0", "yes", "central daemon")
+				seqMoves := stats.NewStream()
+				runJobsOver(cfg, "E10 sequential "+w.name, seqSeeds,
+					func(_ *engine.RunContext, _ int, seed uint64) any {
+						g := w.gen.at(seed)
+						s := sched.NewSequential(g, sched.CentralAdversarial{}, seed)
+						s.Run(10 * g.N())
+						return float64(s.Moves())
+					},
+					func(_ int, payload any) { seqMoves.Add(payload.(float64)) })
+				t.AddRow("sequential (central)", fmt.Sprintf("%.0f moves", seqMoves.Mean()),
+					fmt.Sprintf("%.0f moves", seqMoves.Max()), "2", "0", "yes", "central daemon")
 				t.Notes = append(t.Notes,
 					"claim shape: Luby wins rounds by a constant-ish factor but needs Θ(log n) state/randomness and is not self-stabilizing")
 				tables = append(tables, t)
@@ -125,9 +137,9 @@ func e11SelfStabilization() Experiment {
 			}
 			for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
 				for _, init := range mis.AllInits() {
-					m := runTrials(kind, gen, trials, 4*mis.DefaultRoundCap(n), cfg.Seed,
+					m := runTrials(cfg, kind, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed,
 						mis.WithInit(init))
-					if len(m.rounds) == 0 {
+					if m.count() == 0 {
 						initTable.AddRow(kind.String(), init.String(), "-", "-", "FAILED")
 						continue
 					}
@@ -146,42 +158,52 @@ func e11SelfStabilization() Experiment {
 				Title:   fmt.Sprintf("E11b: recovery rounds after corrupting k=%d vertices of a stabilized run", n/40),
 				Columns: []string{"process", "adversary", "recovery mean", "recovery max", "fresh mean", "status"},
 			}
-			master := xrand.New(cfg.Seed + 5)
 			for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
-				fresh := runTrials(kind, gen, trials, 4*mis.DefaultRoundCap(n), cfg.Seed)
+				fresh := runTrials(cfg, kind, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed)
 				freshMean := 0.0
-				if len(fresh.rounds) > 0 {
+				if fresh.count() > 0 {
 					freshMean = fresh.summary().Mean
 				}
 				for _, adv := range fault.AllAdversaries() {
-					var recRounds []float64
-					failed := 0
-					for i := 0; i < trials; i++ {
-						seed := master.Split(uint64(i)).Uint64()
-						g := gen(seed)
-						p := newProcess(kind, g, mis.WithSeed(seed))
-						if !mis.Run(p, 8*mis.DefaultRoundCap(n)).Stabilized {
-							failed++
-							continue
-						}
-						c := fault.Wrap(p)
-						res := fault.Attack(c, adv, n/40, master.Split(uint64(9000+i)), 8*mis.DefaultRoundCap(n))
-						if !res.Recovered || verify.MIS(g, c.Black) != nil {
-							failed++
-							continue
-						}
-						recRounds = append(recRounds, float64(res.RecoveryRounds))
+					// One pool job per trial: stabilize, corrupt, re-stabilize.
+					type recOutcome struct {
+						rounds float64
+						ok     bool
 					}
-					if len(recRounds) == 0 {
+					recRounds := stats.NewStream()
+					failed := 0
+					runJobs(cfg, fmt.Sprintf("E11b %v/%v", kind, adv), trials, cfg.Seed+5,
+						func(rc *engine.RunContext, t int, seed uint64) any {
+							g := gen(seed)
+							p := newProcess(kind, g, mis.WithRunContext(rc), mis.WithSeed(seed))
+							if !mis.Run(p, 8*mis.DefaultRoundCap(n)).Stabilized {
+								return recOutcome{}
+							}
+							c := fault.Wrap(p)
+							attackRng := xrand.New(cfg.Seed + 5).Split(uint64(9000 + t))
+							res := fault.Attack(c, adv, n/40, attackRng, 8*mis.DefaultRoundCap(n))
+							if !res.Recovered || verify.MIS(g, c.Black) != nil {
+								return recOutcome{}
+							}
+							return recOutcome{rounds: float64(res.RecoveryRounds), ok: true}
+						},
+						func(_ int, payload any) {
+							o := payload.(recOutcome)
+							if !o.ok {
+								failed++
+								return
+							}
+							recRounds.Add(o.rounds)
+						})
+					if recRounds.N() == 0 {
 						recovery.AddRow(kind.String(), adv.String(), "-", "-", freshMean, "FAILED")
 						continue
 					}
-					s := stats.Summarize(recRounds)
 					status := "ok"
 					if failed > 0 {
 						status = fmt.Sprintf("%d failed", failed)
 					}
-					recovery.AddRow(kind.String(), adv.String(), s.Mean, s.Max, freshMean, status)
+					recovery.AddRow(kind.String(), adv.String(), recRounds.Mean(), recRounds.Max(), freshMean, status)
 				}
 			}
 			recovery.Notes = append(recovery.Notes,
@@ -207,7 +229,6 @@ func e12Runtimes() Experiment {
 				Title:   fmt.Sprintf("E12: simulator vs runtime stabilization rounds (G(n,avg8), n=%d)", n),
 				Columns: []string{"process", "engine", "mean rounds", "identical to simulator"},
 			}
-			master := xrand.New(cfg.Seed + 11)
 			type caseRun struct {
 				name    string
 				simMean float64
@@ -215,44 +236,47 @@ func e12Runtimes() Experiment {
 				same    int
 			}
 			cases := []caseRun{{name: "2-state/beeping-cd"}, {name: "3-state/stone-age"}, {name: "3-color/stone-age"}}
-			for i := 0; i < trials; i++ {
-				seed := master.Split(uint64(i)).Uint64()
-				g := graph.GnpAvgDegree(n, 8, xrand.New(seed))
-				limit := 8 * mis.DefaultRoundCap(n)
+			// One pool job per trial; each job replays all three process
+			// families on both engines and reports the paired rounds.
+			type pair struct{ sim, rt int }
+			runJobs(cfg, "E12 equivalence", trials, cfg.Seed+11,
+				func(runCtx *engine.RunContext, _ int, seed uint64) any {
+					g := graph.GnpAvgDegree(n, 8, xrand.New(seed))
+					limit := 8 * mis.DefaultRoundCap(n)
+					var out [3]pair
 
-				sim2 := mis.NewTwoState(g, mis.WithSeed(seed))
-				r2 := mis.Run(sim2, limit)
-				bee := beeping.NewMIS(g, seed, nil)
-				br, _ := bee.Run(limit)
-				bee.Close()
-				cases[0].simMean += float64(r2.Rounds) / float64(trials)
-				cases[0].rtMean += float64(br) / float64(trials)
-				if br == r2.Rounds {
-					cases[0].same++
-				}
+					sim2 := mis.NewTwoState(g, mis.WithRunContext(runCtx), mis.WithSeed(seed))
+					r2 := mis.Run(sim2, limit)
+					bee := beeping.NewMIS(g, seed, nil)
+					br, _ := bee.Run(limit)
+					bee.Close()
+					out[0] = pair{sim: r2.Rounds, rt: br}
 
-				sim3 := mis.NewThreeState(g, mis.WithSeed(seed))
-				r3 := mis.Run(sim3, limit)
-				sa := stoneage.NewThreeStateMIS(g, seed, nil)
-				sr, _ := sa.Run(limit)
-				sa.Close()
-				cases[1].simMean += float64(r3.Rounds) / float64(trials)
-				cases[1].rtMean += float64(sr) / float64(trials)
-				if sr == r3.Rounds {
-					cases[1].same++
-				}
+					sim3 := mis.NewThreeState(g, mis.WithRunContext(runCtx), mis.WithSeed(seed))
+					r3 := mis.Run(sim3, limit)
+					sa := stoneage.NewThreeStateMIS(g, seed, nil)
+					sr, _ := sa.Run(limit)
+					sa.Close()
+					out[1] = pair{sim: r3.Rounds, rt: sr}
 
-				simC := mis.NewThreeColor(g, mis.WithSeed(seed))
-				rc := mis.Run(simC, limit)
-				sc := stoneage.NewThreeColorMIS(g, seed, nil, nil)
-				cr, _ := sc.Run(limit)
-				sc.Close()
-				cases[2].simMean += float64(rc.Rounds) / float64(trials)
-				cases[2].rtMean += float64(cr) / float64(trials)
-				if cr == rc.Rounds {
-					cases[2].same++
-				}
-			}
+					simC := mis.NewThreeColor(g, mis.WithRunContext(runCtx), mis.WithSeed(seed))
+					rcRes := mis.Run(simC, limit)
+					sc := stoneage.NewThreeColorMIS(g, seed, nil, nil)
+					cr, _ := sc.Run(limit)
+					sc.Close()
+					out[2] = pair{sim: rcRes.Rounds, rt: cr}
+					return out
+				},
+				func(_ int, payload any) {
+					out := payload.([3]pair)
+					for k := range cases {
+						cases[k].simMean += float64(out[k].sim) / float64(trials)
+						cases[k].rtMean += float64(out[k].rt) / float64(trials)
+						if out[k].sim == out[k].rt {
+							cases[k].same++
+						}
+					}
+				})
 			for _, c := range cases {
 				t.AddRow(c.name, "simulator", c.simMean, "-")
 				t.AddRow(c.name, "goroutine runtime", c.rtMean,
@@ -288,13 +312,13 @@ func e13Ablations() Experiment {
 				return graph.GnpAvgDegree(n, 12, xrand.New(seed))
 			}
 			for _, bias := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-				mc := runTrials(KindTwoState, fixedGraph(cl), trials, 0, cfg.Seed+uint64(bias*100),
+				mc := runTrials(cfg, KindTwoState, fixedGraph(cl), trials, 0, cfg.Seed+uint64(bias*100),
 					mis.WithBlackBias(bias))
-				mg := runTrials(KindTwoState, genG, trials, 0, cfg.Seed+uint64(bias*100)+1,
+				mg := runTrials(cfg, KindTwoState, perSeed(genG), trials, 0, cfg.Seed+uint64(bias*100)+1,
 					mis.WithBlackBias(bias))
 				row := []interface{}{bias}
 				for _, m := range []*measurement{mc, mg} {
-					if len(m.rounds) == 0 {
+					if m.count() == 0 {
 						row = append(row, "-", "-")
 					} else {
 						s := m.summary()
@@ -315,9 +339,9 @@ func e13Ablations() Experiment {
 				return graph.Gnp(n/2, 0.25, xrand.New(seed))
 			}
 			for _, k := range []uint{3, 5, 7, 9} {
-				m := runTrials(KindThreeColor, genDense, trials, 8*mis.DefaultRoundCap(n/2),
+				m := runTrials(cfg, KindThreeColor, perSeed(genDense), trials, 8*mis.DefaultRoundCap(n/2),
 					cfg.Seed+uint64(k), mis.WithSwitchZetaLog2(k))
-				if len(m.rounds) == 0 {
+				if m.count() == 0 {
 					zetaT.AddRow(k, 4<<k, "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 					continue
 				}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/stats"
@@ -48,29 +49,42 @@ func e14LocalTimes() Experiment {
 						"global (max)", "mean/global"},
 				}
 				for _, n := range sizes {
-					master := xrand.New(cfg.Seed + uint64(n))
-					var locals []float64
-					var globals []float64
-					for i := 0; i < trials; i++ {
-						seed := master.Split(uint64(i)).Uint64()
-						g := fam.gen(n, seed)
-						p := mis.NewTwoState(g, mis.WithSeed(seed), mis.WithLocalTimes())
-						res := mis.Run(p, 4*mis.DefaultRoundCap(n))
-						if !res.Stabilized {
-							continue
-						}
-						for _, ti := range p.StabilizationTimes() {
-							locals = append(locals, float64(ti))
-						}
-						globals = append(globals, float64(res.Rounds))
+					n := n
+					// One pool job per trial; local times stream into exact
+					// counting quantiles instead of a trials×n slice.
+					locals := stats.NewQuantileStream()
+					globals := stats.NewStream()
+					type localTimes struct {
+						times  []int
+						rounds int
+						ok     bool
 					}
-					if len(locals) == 0 {
+					runJobs(cfg, fmt.Sprintf("E14 %s n=%d", fam.name, n), trials, cfg.Seed+uint64(n),
+						func(rc *engine.RunContext, _ int, seed uint64) any {
+							g := fam.gen(n, seed)
+							p := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed), mis.WithLocalTimes())
+							res := mis.Run(p, 4*mis.DefaultRoundCap(n))
+							if !res.Stabilized {
+								return localTimes{}
+							}
+							return localTimes{times: p.StabilizationTimes(), rounds: res.Rounds, ok: true}
+						},
+						func(_ int, payload any) {
+							lt := payload.(localTimes)
+							if !lt.ok {
+								return
+							}
+							for _, ti := range lt.times {
+								locals.Add(float64(ti))
+							}
+							globals.Add(float64(lt.rounds))
+						})
+					if locals.N() == 0 {
 						t.AddRow(n, "-", "-", "-", "-", "-")
 						continue
 					}
-					sl := stats.Summarize(locals)
-					sg := stats.Summarize(globals)
-					t.AddRow(n, sl.Mean, sl.Median, sl.P99, sg.Mean, sl.Mean/sg.Mean)
+					sl := locals.Summary()
+					t.AddRow(n, sl.Mean, sl.Median, sl.P99, globals.Mean(), sl.Mean/globals.Mean())
 				}
 				t.Notes = append(t.Notes,
 					"claim shape: mean and median local times are O(1)-ish and grow far slower than the global max; mean/global shrinks with n")

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"ssmis/internal/baseline"
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/stats"
@@ -36,44 +37,66 @@ func e15TopologyChurn() Experiment {
 				Title:   fmt.Sprintf("E15: 2-state re-stabilization after k edge toggles (G(%d, avg 12))", n),
 				Columns: []string{"k toggles", "recovery mean", "recovery max", "fresh mean", "recovery/fresh"},
 			}
-			master := xrand.New(cfg.Seed + 31)
-			var freshRounds []float64
-			perChurn := make(map[int][]float64, len(churns))
-			for i := 0; i < trials; i++ {
-				seed := master.Split(uint64(i)).Uint64()
-				g := graph.GnpAvgDegree(n, 12, xrand.New(seed))
-				p := mis.NewTwoState(g, mis.WithSeed(seed))
-				res := mis.Run(p, 8*mis.DefaultRoundCap(n))
-				if !res.Stabilized {
-					continue
-				}
-				freshRounds = append(freshRounds, float64(res.Rounds))
-				churnRng := master.Split(uint64(10000 + i))
-				for _, k := range churns {
-					g2, _ := g.WithRandomChurn(k, churnRng)
-					p.Rebind(g2)
-					before := p.Round()
-					rec := mis.Run(p, before+8*mis.DefaultRoundCap(n))
-					if !rec.Stabilized || verify.MIS(g2, p.Black) != nil {
-						continue
-					}
-					perChurn[k] = append(perChurn[k], float64(rec.Rounds-before))
-					g = g2 // keep churning the same evolving network
-				}
+			freshRounds := stats.NewStream()
+			perChurn := make(map[int]*stats.Stream, len(churns))
+			for _, k := range churns {
+				perChurn[k] = stats.NewStream()
 			}
-			if len(freshRounds) == 0 {
+			// Each trial is one pool job running the whole churn chain (the
+			// evolving network is inherently sequential within a trial).
+			type churnRec struct {
+				k      int
+				rounds float64
+			}
+			type churnTrial struct {
+				fresh float64
+				ok    bool
+				recs  []churnRec
+			}
+			runJobs(cfg, "E15 churn", trials, cfg.Seed+31,
+				func(rc *engine.RunContext, t int, seed uint64) any {
+					g := graph.GnpAvgDegree(n, 12, xrand.New(seed))
+					p := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed))
+					res := mis.Run(p, 8*mis.DefaultRoundCap(n))
+					if !res.Stabilized {
+						return churnTrial{}
+					}
+					out := churnTrial{fresh: float64(res.Rounds), ok: true}
+					churnRng := xrand.New(cfg.Seed + 31).Split(uint64(10000 + t))
+					for _, k := range churns {
+						g2, _ := g.WithRandomChurn(k, churnRng)
+						p.Rebind(g2)
+						before := p.Round()
+						rec := mis.Run(p, before+8*mis.DefaultRoundCap(n))
+						if !rec.Stabilized || verify.MIS(g2, p.Black) != nil {
+							continue
+						}
+						out.recs = append(out.recs, churnRec{k: k, rounds: float64(rec.Rounds - before)})
+						g = g2 // keep churning the same evolving network
+					}
+					return out
+				},
+				func(_ int, payload any) {
+					tr := payload.(churnTrial)
+					if !tr.ok {
+						return
+					}
+					freshRounds.Add(tr.fresh)
+					for _, r := range tr.recs {
+						perChurn[r.k].Add(r.rounds)
+					}
+				})
+			if freshRounds.N() == 0 {
 				t.AddRow("-", "-", "-", "-", "-")
 				return []Table{t}
 			}
-			fresh := stats.Summarize(freshRounds)
 			for _, k := range churns {
 				rs := perChurn[k]
-				if len(rs) == 0 {
-					t.AddRow(k, "-", "-", fresh.Mean, "-")
+				if rs.N() == 0 {
+					t.AddRow(k, "-", "-", freshRounds.Mean(), "-")
 					continue
 				}
-				s := stats.Summarize(rs)
-				t.AddRow(k, s.Mean, s.Max, fresh.Mean, s.Mean/fresh.Mean)
+				t.AddRow(k, rs.Mean(), rs.Max(), freshRounds.Mean(), rs.Mean()/freshRounds.Mean())
 			}
 			t.Notes = append(t.Notes,
 				"claim shape: recovery cost grows with churn size and approaches (but does not exceed) a fresh start; single-link churn is near-free")
@@ -114,32 +137,42 @@ func e16MISQuality() Experiment {
 					Title:   fmt.Sprintf("E16: MIS size on %s (n=%d)", fam.name, n),
 					Columns: []string{"algorithm", "size mean", "±95%", "size/n"},
 				}
-				master := xrand.New(cfg.Seed + 41)
-				sizesByAlg := map[string][]float64{}
 				algOrder := []string{"2-state", "3-state", "Luby", "perm-greedy", "greedy(id)"}
-				for i := 0; i < trials; i++ {
-					seed := master.Split(uint64(i)).Uint64()
-					g := fam.gen(seed)
-					p2 := mis.NewTwoState(g, mis.WithSeed(seed))
-					if mis.Run(p2, 8*mis.DefaultRoundCap(n)).Stabilized {
-						sizesByAlg["2-state"] = append(sizesByAlg["2-state"], float64(countBlack(p2)))
-					}
-					p3 := mis.NewThreeState(g, mis.WithSeed(seed))
-					if mis.Run(p3, 8*mis.DefaultRoundCap(n)).Stabilized {
-						sizesByAlg["3-state"] = append(sizesByAlg["3-state"], float64(countBlack(p3)))
-					}
-					sizesByAlg["Luby"] = append(sizesByAlg["Luby"], float64(countTrue(baseline.Luby(g, seed).InMIS)))
-					sizesByAlg["perm-greedy"] = append(sizesByAlg["perm-greedy"], float64(countTrue(baseline.PermutationGreedy(g, seed).InMIS)))
-					sizesByAlg["greedy(id)"] = append(sizesByAlg["greedy(id)"], float64(countTrue(baseline.GreedyMIS(g, nil))))
+				sizesByAlg := map[string]*stats.Stream{}
+				for _, alg := range algOrder {
+					sizesByAlg[alg] = stats.NewStream()
 				}
+				// One pool job per trial; the payload maps algorithm → MIS
+				// size (absent when a process failed to stabilize).
+				runJobs(cfg, "E16 quality "+fam.name, trials, cfg.Seed+41,
+					func(rc *engine.RunContext, _ int, seed uint64) any {
+						sizes := map[string]float64{}
+						g := fam.gen(seed)
+						p2 := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed))
+						if mis.Run(p2, 8*mis.DefaultRoundCap(n)).Stabilized {
+							sizes["2-state"] = float64(countBlack(p2))
+						}
+						p3 := mis.NewThreeState(g, mis.WithRunContext(rc), mis.WithSeed(seed))
+						if mis.Run(p3, 8*mis.DefaultRoundCap(n)).Stabilized {
+							sizes["3-state"] = float64(countBlack(p3))
+						}
+						sizes["Luby"] = float64(countTrue(baseline.Luby(g, seed).InMIS))
+						sizes["perm-greedy"] = float64(countTrue(baseline.PermutationGreedy(g, seed).InMIS))
+						sizes["greedy(id)"] = float64(countTrue(baseline.GreedyMIS(g, nil)))
+						return sizes
+					},
+					func(_ int, payload any) {
+						for alg, sz := range payload.(map[string]float64) {
+							sizesByAlg[alg].Add(sz)
+						}
+					})
 				for _, alg := range algOrder {
 					xs := sizesByAlg[alg]
-					if len(xs) == 0 {
+					if xs.N() == 0 {
 						t.AddRow(alg, "-", "-", "-")
 						continue
 					}
-					s := stats.Summarize(xs)
-					t.AddRow(alg, s.Mean, s.MeanCI95(), s.Mean/float64(n))
+					t.AddRow(alg, xs.Mean(), xs.MeanCI95(), xs.Mean()/float64(n))
 				}
 				t.Notes = append(t.Notes,
 					"shape: all algorithms produce statistically similar MIS sizes — the constant-state processes pay no solution-quality penalty")

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ssmis/internal/baseline"
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/stats"
@@ -51,36 +52,46 @@ func e17RestartScheme() Experiment {
 			}
 			const limit = 60000
 			for _, w := range workloads {
-				master := xrand.New(cfg.Seed + 71)
-				var restartRounds, twoRounds []float64
+				restartRounds, twoRounds := stats.NewStream(), stats.NewStream()
 				capped := 0
-				for i := 0; i < trials; i++ {
-					seed := master.Split(uint64(i)).Uint64()
-					g := w.gen(seed)
-					r := baseline.NewRestartMIS(g, 3, 7, seed)
-					rounds, ok := r.RunUntilValid(limit)
-					if ok {
-						restartRounds = append(restartRounds, float64(rounds))
-					} else {
-						capped++
-					}
-					p := mis.NewTwoState(g, mis.WithSeed(seed))
-					res := mis.Run(p, limit)
-					if res.Stabilized {
-						twoRounds = append(twoRounds, float64(res.Rounds))
-					}
+				// One pool job per trial: the restart scheme and the 2-state
+				// process race on the same sampled graph.
+				type raceOutcome struct {
+					restart, two    float64
+					restartOK, two2 bool
 				}
-				if len(twoRounds) == 0 {
+				runJobs(cfg, "E17 restart "+w.name, trials, cfg.Seed+71,
+					func(rc *engine.RunContext, _ int, seed uint64) any {
+						g := w.gen(seed)
+						r := baseline.NewRestartMIS(g, 3, 7, seed)
+						rounds, ok := r.RunUntilValid(limit)
+						p := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed))
+						res := mis.Run(p, limit)
+						return raceOutcome{
+							restart: float64(rounds), restartOK: ok,
+							two: float64(res.Rounds), two2: res.Stabilized,
+						}
+					},
+					func(_ int, payload any) {
+						o := payload.(raceOutcome)
+						if o.restartOK {
+							restartRounds.Add(o.restart)
+						} else {
+							capped++
+						}
+						if o.two2 {
+							twoRounds.Add(o.two)
+						}
+					})
+				if twoRounds.N() == 0 {
 					continue
 				}
-				t2 := stats.Summarize(twoRounds)
-				if len(restartRounds) == 0 {
-					t.AddRow(w.name, w.diam, "-", fmt.Sprintf("%d/%d", capped, trials), t2.Mean, "-")
+				if restartRounds.N() == 0 {
+					t.AddRow(w.name, w.diam, "-", fmt.Sprintf("%d/%d", capped, trials), twoRounds.Mean(), "-")
 					continue
 				}
-				rs := stats.Summarize(restartRounds)
-				t.AddRow(w.name, w.diam, rs.Mean, fmt.Sprintf("%d/%d", capped, trials),
-					t2.Mean, rs.Mean/t2.Mean)
+				t.AddRow(w.name, w.diam, restartRounds.Mean(), fmt.Sprintf("%d/%d", capped, trials),
+					twoRounds.Mean(), restartRounds.Mean()/twoRounds.Mean())
 			}
 			t.Notes = append(t.Notes,
 				"claim shape: the restart scheme's cost explodes (or caps) as diameter grows past the clock's D, while the 2-state process barely notices",

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/sched"
@@ -55,7 +56,7 @@ func e18DaemonSchedules() Experiment {
 			}
 			for _, pc := range cases {
 				for _, dname := range sched.DaemonNames() {
-					var movesPerV, steps []float64
+					movesPerV, steps := stats.NewStream(), stats.NewStream()
 					failed := 0
 					// The known livelock case would burn the full step cap on
 					// every trial; keep one cheap demonstration row instead.
@@ -64,28 +65,45 @@ func e18DaemonSchedules() Experiment {
 					if livelock {
 						rowTrials = 3
 					}
-					master := xrand.New(cfg.Seed + 18)
-					for i := 0; i < rowTrials; i++ {
-						seed := master.Split(uint64(i)).Uint64()
-						g := gen(seed)
-						d, err := sched.DaemonByName(dname)
-						if err != nil {
-							panic(err)
-						}
-						p := pc.mk(g, seed)
-						stepCap := mis.DefaultDaemonStepCap(g.N())
-						if livelock {
-							stepCap = 200 * g.N()
-						}
-						st, ok := p.DaemonRun(d, stepCap)
-						if !ok || verify.MIS(g, p.Black) != nil {
-							failed++
-							continue
-						}
-						movesPerV = append(movesPerV, float64(p.Moves())/float64(g.N()))
-						steps = append(steps, float64(st))
+					// One pool job per trial (daemon runs are long chains of
+					// tiny steps — exactly the cells that profit from spreading
+					// across the pool).
+					type daemonOutcome struct {
+						movesPerV, steps float64
+						ok               bool
 					}
-					if len(movesPerV) == 0 {
+					runJobs(cfg, fmt.Sprintf("E18 %v/%s", pc.kind, dname), rowTrials, cfg.Seed+18,
+						func(_ *engine.RunContext, _ int, seed uint64) any {
+							g := gen(seed)
+							d, err := sched.DaemonByName(dname)
+							if err != nil {
+								panic(err)
+							}
+							p := pc.mk(g, seed)
+							stepCap := mis.DefaultDaemonStepCap(g.N())
+							if livelock {
+								stepCap = 200 * g.N()
+							}
+							st, ok := p.DaemonRun(d, stepCap)
+							if !ok || verify.MIS(g, p.Black) != nil {
+								return daemonOutcome{}
+							}
+							return daemonOutcome{
+								movesPerV: float64(p.Moves()) / float64(g.N()),
+								steps:     float64(st),
+								ok:        true,
+							}
+						},
+						func(_ int, payload any) {
+							o := payload.(daemonOutcome)
+							if !o.ok {
+								failed++
+								return
+							}
+							movesPerV.Add(o.movesPerV)
+							steps.Add(o.steps)
+						})
+					if movesPerV.N() == 0 {
 						status := fmt.Sprintf("0/%d", rowTrials)
 						if livelock {
 							status += " (livelock)"
@@ -93,9 +111,8 @@ func e18DaemonSchedules() Experiment {
 						t.AddRow(pc.kind.String(), dname, "-", "-", "-", status)
 						continue
 					}
-					sm, ss := stats.Summarize(movesPerV), stats.Summarize(steps)
 					status := fmt.Sprintf("%d/%d", rowTrials-failed, rowTrials)
-					t.AddRow(pc.kind.String(), dname, sm.Mean, sm.Max, ss.Mean, status)
+					t.AddRow(pc.kind.String(), dname, movesPerV.Mean(), movesPerV.Max(), steps.Mean(), status)
 				}
 			}
 			t.Notes = append(t.Notes,

@@ -10,6 +10,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"ssmis/internal/batch"
 )
 
 // Config controls the cost of a run.
@@ -20,6 +24,68 @@ type Config struct {
 	Scale float64
 	// Seed is the master seed; every trial derives from it.
 	Seed uint64
+	// Pool, when non-nil, is the work-stealing scheduler every cell submits
+	// its runs to. cmd/missweep creates one per invocation and shares it
+	// across all selected experiments, so the pool's workers stay busy
+	// across experiment boundaries (cross-experiment parallelism). Nil falls
+	// back to a lazily created process-wide pool sized to GOMAXPROCS.
+	Pool *batch.Pool
+	// Cells, when non-nil, collects per-cell wall times (one entry per
+	// scheduler submission) for the sweep commands' timing reports.
+	Cells *CellLog
+	// Chunk caps how many seeds of one cell a pool worker claims at a time
+	// (the missweep -batch flag); <= 0 lets the scheduler choose.
+	Chunk int
+}
+
+// CellLog accumulates per-cell wall-time measurements; safe for concurrent
+// use (cells from concurrently running experiments interleave).
+type CellLog struct {
+	mu    sync.Mutex
+	cells []Cell
+}
+
+// Cell is one timed scheduler submission.
+type Cell struct {
+	Label   string
+	Jobs    int
+	Elapsed time.Duration
+}
+
+func (l *CellLog) add(c Cell) {
+	l.mu.Lock()
+	l.cells = append(l.cells, c)
+	l.mu.Unlock()
+}
+
+// Cells returns a copy of the log.
+func (l *CellLog) Cells() []Cell {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Cell(nil), l.cells...)
+}
+
+// defaultPool is the fallback scheduler for configurations without an
+// explicit pool (library users, tests, benchmarks).
+var defaultPool struct {
+	once sync.Once
+	p    *batch.Pool
+}
+
+// pool returns the scheduler this configuration submits to.
+func (c Config) pool() *batch.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	defaultPool.once.Do(func() { defaultPool.p = batch.NewPool(0) })
+	return defaultPool.p
+}
+
+// logCell records one timed cell when a log is attached.
+func (c Config) logCell(label string, jobs int, elapsed time.Duration) {
+	if c.Cells != nil {
+		c.Cells.add(Cell{Label: label, Jobs: jobs, Elapsed: elapsed})
+	}
 }
 
 // DefaultConfig is the full-scale configuration.

@@ -1,8 +1,11 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"ssmis/internal/batch"
 )
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
@@ -117,5 +120,50 @@ func TestAllExperimentsSmoke(t *testing.T) {
 				_ = tab.CSV()
 			}
 		})
+	}
+}
+
+// The tables an experiment produces must be bit-identical whatever the
+// shared pool's worker count: outcomes are delivered in trial order, so the
+// streamed aggregates see the same sequence. Three representatives cover
+// the three submission shapes (fixed-graph shard, per-seed shard, custom
+// per-trial jobs).
+func TestExperimentsDeterministicAcrossPools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep skipped in -short mode")
+	}
+	for _, id := range []string{"E2", "E9", "E15"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		run := func(workers int) []Table {
+			pool := batch.NewPool(workers)
+			defer pool.Close()
+			return e.Run(Config{Scale: 0.05, Seed: 7, Pool: pool})
+		}
+		one := run(1)
+		eight := run(8)
+		if !reflect.DeepEqual(one, eight) {
+			t.Fatalf("%s: tables differ between workers=1 and workers=8:\n%+v\nvs\n%+v", id, one, eight)
+		}
+	}
+}
+
+func TestCellLogRecords(t *testing.T) {
+	e, ok := ByID("E2")
+	if !ok {
+		t.Fatal("E2 missing")
+	}
+	log := &CellLog{}
+	e.Run(Config{Scale: 0.05, Seed: 7, Cells: log})
+	cells := log.Cells()
+	if len(cells) == 0 {
+		t.Fatal("no cells recorded")
+	}
+	for _, c := range cells {
+		if c.Label == "" || c.Jobs <= 0 || c.Elapsed < 0 {
+			t.Fatalf("malformed cell %+v", c)
+		}
 	}
 }

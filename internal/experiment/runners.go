@@ -3,9 +3,10 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+	"time"
 
+	"ssmis/internal/batch"
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/stats"
@@ -50,91 +51,152 @@ func newProcess(k Kind, g *graph.Graph, opts ...mis.Option) mis.Process {
 	}
 }
 
-// measurement is a stabilization-time sample set plus bookkeeping.
+// graphGen describes how a cell obtains its graphs: one fixed graph — built
+// once and shared read-only across every trial by the batch scheduler's
+// shard mechanism — or a fresh graph drawn per trial seed.
+type graphGen struct {
+	fixed *graph.Graph
+	gen   func(seed uint64) *graph.Graph
+}
+
+// fixedGraph adapts a pre-built graph: all trials share it.
+func fixedGraph(g *graph.Graph) graphGen { return graphGen{fixed: g} }
+
+// perSeed adapts a random graph family: trial t samples gen(seed_t).
+func perSeed(gen func(seed uint64) *graph.Graph) graphGen { return graphGen{gen: gen} }
+
+// at materializes the graph for one seed (custom per-trial loops).
+func (g graphGen) at(seed uint64) *graph.Graph {
+	if g.fixed != nil {
+		return g.fixed
+	}
+	return g.gen(seed)
+}
+
+// measurement is a stabilization-time sample set plus bookkeeping. The
+// samples live in streaming accumulators (Welford mean/CI, counting-map
+// quantiles), fed in trial order by the scheduler's in-order delivery, so a
+// cell never materializes per-run slices and its numbers are independent of
+// the pool's worker count.
 type measurement struct {
-	rounds    []float64
-	bits      []float64
-	failures  int // runs that hit the round cap
-	misBroken int // stabilized runs whose black set is not an MIS (must be 0)
+	rounds    *stats.Stream // quantile stream over stabilization rounds
+	bits      *stats.Stream // plain stream over random-bit totals
+	failures  int           // runs that hit the round cap
+	misBroken int           // stabilized runs whose black set is not an MIS (must be 0)
 	trials    int
 }
 
+func newMeasurement(trials int) *measurement {
+	return &measurement{
+		rounds: stats.NewQuantileStream(),
+		bits:   stats.NewStream(),
+		trials: trials,
+	}
+}
+
+// count returns the number of successful runs aggregated so far.
+func (m *measurement) count() int { return m.rounds.N() }
+
 // summary of the round samples; panics if all trials failed.
-func (m *measurement) summary() stats.Summary { return stats.Summarize(m.rounds) }
+func (m *measurement) summary() stats.Summary { return m.rounds.Summary() }
+
+// add folds one scheduler outcome into the aggregates.
+func (m *measurement) add(o batch.Outcome) {
+	switch {
+	case o.Failed:
+		m.failures++
+	case o.Broken:
+		m.misBroken++
+	default:
+		m.rounds.Add(float64(o.Rounds))
+		m.bits.Add(float64(o.Bits))
+	}
+}
+
+// trialSeeds derives the harness's standard per-trial seeds: trial t uses
+// xrand.New(masterSeed).Split(t).Uint64().
+func trialSeeds(masterSeed uint64, trials int) []uint64 {
+	master := xrand.New(masterSeed)
+	seeds := make([]uint64, trials)
+	for t := range seeds {
+		seeds[t] = master.Split(uint64(t)).Uint64()
+	}
+	return seeds
+}
 
 // runTrials measures the stabilization time of `kind` over `trials` runs on
-// graphs produced by gen (called once per trial with a per-trial seed so
-// random graph families resample each time). Trials are independent and run
-// on a worker pool sized to the machine; results are deterministic
-// regardless of scheduling because every trial derives from its own seed.
-func runTrials(kind Kind, gen func(seed uint64) *graph.Graph, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *measurement {
-	type outcome struct {
-		rounds    float64
-		bits      float64
-		failed    bool
-		misBroken bool
-	}
-	master := xrand.New(masterSeed)
-	outcomes := make([]outcome, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				trialSeed := master.Split(uint64(t)).Uint64()
-				g := gen(trialSeed)
-				limit := roundCap
-				if limit <= 0 {
-					limit = mis.DefaultRoundCap(g.N())
-				}
-				p := newProcess(kind, g, append([]mis.Option{mis.WithSeed(trialSeed)}, opts...)...)
-				res := mis.Run(p, limit)
-				switch {
-				case !res.Stabilized:
-					outcomes[t].failed = true
-				case verify.MIS(g, p.Black) != nil:
-					outcomes[t].misBroken = true
-				default:
-					outcomes[t] = outcome{rounds: float64(res.Rounds), bits: float64(res.RandomBits)}
-				}
+// graphs produced by gen, submitted as one shard to the configuration's
+// shared work-stealing pool. Fixed graphs are built once and shared
+// read-only across the shard; per-seed families sample inside the job.
+// Results are deterministic regardless of scheduling: every trial derives
+// from its own seed and outcomes aggregate in trial order.
+func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *measurement {
+	start := time.Now()
+	sh := batch.Shard{
+		Seeds: trialSeeds(masterSeed, trials),
+		Run: func(rc *engine.RunContext, g *graph.Graph, _ int, seed uint64) batch.Outcome {
+			if g == nil {
+				g = gen.gen(seed)
 			}
-		}()
+			limit := roundCap
+			if limit <= 0 {
+				limit = mis.DefaultRoundCap(g.N())
+			}
+			p := newProcess(kind, g, append([]mis.Option{mis.WithRunContext(rc), mis.WithSeed(seed)}, opts...)...)
+			res := mis.Run(p, limit)
+			switch {
+			case !res.Stabilized:
+				return batch.Outcome{Failed: true}
+			case verify.MIS(g, p.Black) != nil:
+				return batch.Outcome{Broken: true}
+			}
+			return batch.Outcome{Rounds: res.Rounds, Bits: res.RandomBits}
+		},
 	}
-	for t := 0; t < trials; t++ {
-		next <- t
+	if gen.fixed != nil {
+		g := gen.fixed
+		sh.Build = func() *graph.Graph { return g }
 	}
-	close(next)
-	wg.Wait()
-
-	m := &measurement{trials: trials}
-	for _, o := range outcomes {
-		switch {
-		case o.failed:
-			m.failures++
-		case o.misBroken:
-			m.misBroken++
-		default:
-			m.rounds = append(m.rounds, o.rounds)
-			m.bits = append(m.bits, o.bits)
-		}
-	}
+	m := newMeasurement(trials)
+	cfg.pool().SubmitOpts([]batch.Shard{sh}, batch.SubmitOptions{ChunkSize: cfg.Chunk}, m.add).Wait()
+	cfg.logCell(fmt.Sprintf("%v trials=%d seed=%d", kind, trials, masterSeed), trials, time.Since(start))
 	return m
 }
 
-// fixedGraph adapts a pre-built graph to the gen signature.
-func fixedGraph(g *graph.Graph) func(uint64) *graph.Graph {
-	return func(uint64) *graph.Graph { return g }
+// runJobs submits one pool job per trial for cells that measure something
+// other than plain stabilization times: trial t runs job(rc, t, seed_t) on
+// a worker (seed derivation as in runTrials) and its payload is handed
+// back, in trial order, to collect. The harness's custom per-trial loops
+// (runtime equivalence, churn chains, fault attacks, daemon schedules, ...)
+// all route through here so a missweep invocation keeps every worker busy
+// across experiment boundaries.
+func runJobs(cfg Config, label string, trials int, masterSeed uint64,
+	job func(rc *engine.RunContext, t int, seed uint64) any,
+	collect func(t int, payload any)) {
+	runJobsOver(cfg, label, trialSeeds(masterSeed, trials), job, collect)
+}
+
+// runJobsOver is runJobs with an explicit seed list (one job per entry; job
+// t receives seeds[t]).
+func runJobsOver(cfg Config, label string, seeds []uint64,
+	job func(rc *engine.RunContext, t int, seed uint64) any,
+	collect func(t int, payload any)) {
+	start := time.Now()
+	sh := batch.Shard{
+		Seeds: seeds,
+		Run: func(rc *engine.RunContext, _ *graph.Graph, i int, seed uint64) batch.Outcome {
+			return batch.Outcome{Extra: job(rc, i, seed)}
+		},
+	}
+	cfg.pool().SubmitOpts([]batch.Shard{sh}, batch.SubmitOptions{ChunkSize: cfg.Chunk}, func(o batch.Outcome) {
+		collect(o.Index, o.Extra)
+	}).Wait()
+	cfg.logCell(label, len(seeds), time.Since(start))
 }
 
 // scalingRow formats the standard scaling columns for a measurement at size n.
 func scalingRow(t *Table, n int, m *measurement) {
-	if len(m.rounds) == 0 {
+	if m.count() == 0 {
 		t.AddRow(n, "-", "-", "-", "-", "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 		return
 	}

@@ -53,6 +53,14 @@ type Checkpoint struct {
 	// BlackBias and ZetaLog2 reproduce the options that shape randomness.
 	BlackBias float64 `json:"blackBias"`
 	ZetaLog2  uint    `json:"zetaLog2,omitempty"`
+	// SchedRng is the daemon scheduler's selection stream, present once the
+	// process has taken a daemon step; restoring it resumes a
+	// daemon-scheduled execution coin-for-coin (the schedule after restore
+	// equals the schedule an uninterrupted run would have drawn). Steps and
+	// Moves carry the matching daemon accounting.
+	SchedRng []byte `json:"schedRng,omitempty"`
+	Steps    int    `json:"steps,omitempty"`
+	Moves    int    `json:"moves,omitempty"`
 }
 
 // Encode renders the checkpoint as JSON.
@@ -119,6 +127,34 @@ func restoreCore(g *graph.Graph, rule engine.Rule, state []uint8, rngs []*xrand.
 	return core
 }
 
+// marshalSched serializes the daemon selection stream; nil when the process
+// never took a daemon step (the stream is derived lazily).
+func marshalSched(rng *xrand.Rand) ([]byte, error) {
+	if rng == nil {
+		return nil, nil
+	}
+	b, err := rng.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("mis: marshal scheduler rng: %w", err)
+	}
+	return b, nil
+}
+
+// restoreSched replays the checkpointed daemon accounting into core and
+// rebuilds the selection stream (nil when the checkpoint carries none, in
+// which case a later daemon step derives a fresh stream as usual).
+func restoreSched(core *engine.Core, c *Checkpoint) (*xrand.Rand, error) {
+	core.SetDaemonAccounting(c.Steps, c.Moves)
+	if c.SchedRng == nil {
+		return nil, nil
+	}
+	r := xrand.New(0)
+	if err := r.UnmarshalBinary(c.SchedRng); err != nil {
+		return nil, fmt.Errorf("mis: scheduler rng: %w", err)
+	}
+	return r, nil
+}
+
 // Checkpoint snapshots the 2-state process.
 func (p *TwoState) Checkpoint() (*Checkpoint, error) {
 	engineStates := p.core.States()
@@ -132,6 +168,10 @@ func (p *TwoState) Checkpoint() (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched, err := marshalSched(p.schedRng)
+	if err != nil {
+		return nil, err
+	}
 	return &Checkpoint{
 		Process:   "2-state",
 		N:         p.N(),
@@ -140,6 +180,9 @@ func (p *TwoState) Checkpoint() (*Checkpoint, error) {
 		States:    states,
 		Rngs:      rngs,
 		BlackBias: p.opts.blackBias,
+		SchedRng:  sched,
+		Steps:     p.core.Steps(),
+		Moves:     p.core.Moves(),
 	}, nil
 }
 
@@ -168,15 +211,21 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 			state[u] = twoBlack
 		}
 	}
-	return &TwoState{
-		core: restoreCore(g, twoStateRule{}, state, rngs, o, true, c),
-		opts: o,
-	}, nil
+	core := restoreCore(g, twoStateRule{}, state, rngs, o, true, c)
+	schedRng, err := restoreSched(core, c)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoState{core: core, opts: o, schedRng: schedRng}, nil
 }
 
 // Checkpoint snapshots the 3-state process.
 func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
 	rngs, err := marshalRngs(p.core.Rngs())
+	if err != nil {
+		return nil, err
+	}
+	sched, err := marshalSched(p.schedRng)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +237,9 @@ func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
 		States:    append([]uint8(nil), p.core.States()...),
 		Rngs:      rngs,
 		BlackBias: p.opts.blackBias,
+		SchedRng:  sched,
+		Steps:     p.core.Steps(),
+		Moves:     p.core.Moves(),
 	}, nil
 }
 
@@ -216,10 +268,12 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 			return nil, fmt.Errorf("mis: invalid 3-state value %d at vertex %d", s, u)
 		}
 	}
-	return &ThreeState{
-		core: restoreCore(g, threeStateRule{}, state, rngs, o, false, c),
-		opts: o,
-	}, nil
+	core := restoreCore(g, threeStateRule{}, state, rngs, o, false, c)
+	schedRng, err := restoreSched(core, c)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeState{core: core, opts: o, schedRng: schedRng}, nil
 }
 
 // Checkpoint snapshots the 3-color process, including its switch.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ssmis/internal/graph"
+	"ssmis/internal/sched"
 	"ssmis/internal/xrand"
 )
 
@@ -235,5 +236,113 @@ func TestCheckpointBiasRejectsNaN(t *testing.T) {
 	cp.BlackBias = math.NaN()
 	if _, err := RestoreTwoState(g, cp); err == nil {
 		t.Fatal("NaN bias accepted")
+	}
+}
+
+// A checkpoint taken mid-daemon-run must resume the SCHEDULE coin-for-coin:
+// the restored process's subsequent daemon selections (and therefore steps,
+// moves, and final states) equal the uninterrupted run's.
+func TestCheckpointDaemonResume(t *testing.T) {
+	for _, procKind := range []string{"2state", "3state"} {
+		for _, dname := range []string{"central-random", "distributed-random"} {
+			g := graph.Gnp(60, 0.08, xrand.New(313))
+			mk := func() DaemonRunner {
+				if procKind == "2state" {
+					return NewTwoState(g, WithSeed(5))
+				}
+				return NewThreeState(g, WithSeed(5))
+			}
+			newDaemon := func() sched.Daemon {
+				d, err := sched.DaemonByName(dname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			}
+			full, paused := mk(), mk()
+			fullD, pausedD := newDaemon(), newDaemon()
+			const pauseAt = 5
+			for i := 0; i < pauseAt; i++ {
+				full.DaemonStep(fullD)
+				paused.DaemonStep(pausedD)
+			}
+			if paused.Stabilized() {
+				t.Fatalf("%s/%s: stabilized before the pause; deepen the test graph", procKind, dname)
+			}
+			cp, err := paused.(interface{ Checkpoint() (*Checkpoint, error) }).Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.SchedRng == nil || cp.Steps != pauseAt {
+				t.Fatalf("%s/%s: checkpoint sched stream missing (steps=%d)", procKind, dname, cp.Steps)
+			}
+			blob, err := cp.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeCheckpoint(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var restored DaemonRunner
+			if procKind == "2state" {
+				restored, err = RestoreTwoState(g, decoded)
+			} else {
+				restored, err = RestoreThreeState(g, decoded)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Steps() != pauseAt {
+				t.Fatalf("%s/%s: restored steps %d", procKind, dname, restored.Steps())
+			}
+			// The daemon object itself is stateless across steps for the
+			// random daemons used here; the selection stream carries the
+			// schedule. Continue both runs in lockstep.
+			restoredD := newDaemon()
+			cap := DefaultDaemonStepCap(g.N())
+			fullSteps, fullOK := full.DaemonRun(fullD, cap)
+			restSteps, restOK := restored.DaemonRun(restoredD, cap)
+			if fullOK != restOK || fullSteps != restSteps {
+				t.Fatalf("%s/%s: resumed run took %d steps (ok=%v), uninterrupted %d (ok=%v)",
+					procKind, dname, restSteps, restOK, fullSteps, fullOK)
+			}
+			if full.Moves() != restored.Moves() || full.RandomBits() != restored.RandomBits() {
+				t.Fatalf("%s/%s: accounting diverged: moves %d vs %d, bits %d vs %d",
+					procKind, dname, full.Moves(), restored.Moves(),
+					full.RandomBits(), restored.RandomBits())
+			}
+			for u := 0; u < g.N(); u++ {
+				if full.Black(u) != restored.Black(u) {
+					t.Fatalf("%s/%s: final states diverged at %d", procKind, dname, u)
+				}
+			}
+		}
+	}
+}
+
+// Legacy checkpoints (no schedRng) restore with a nil stream: a subsequent
+// daemon run derives a fresh stream instead of failing.
+func TestCheckpointWithoutSchedStream(t *testing.T) {
+	g := graph.Gnp(40, 0.1, xrand.New(99))
+	p := NewTwoState(g, WithSeed(3))
+	p.Step()
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SchedRng != nil {
+		t.Fatal("synchronous-only run serialized a scheduler stream")
+	}
+	restored, err := RestoreTwoState(g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.DaemonByName("central-random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored.DaemonRun(d, 0); !ok {
+		t.Fatal("restored run did not stabilize under daemon")
 	}
 }

@@ -47,12 +47,12 @@ var (
 	_ DaemonRunner = (*ThreeState)(nil)
 )
 
-// Limitation: daemon-scheduled executions are not resumable through
-// Checkpoint/Restore — the checkpoint carries neither the master seed nor
-// the scheduler stream's position, so a restored process re-derives its
-// selection stream from the restore-time options at position zero and the
-// resumed schedule diverges from the uninterrupted one (the per-vertex move
-// coins still match). Serializing the scheduler stream is a ROADMAP item.
+// Daemon-scheduled executions are resumable through Checkpoint/Restore: the
+// checkpoint carries the scheduler stream's exact state (plus the step/move
+// accounting), so a restored process continues the schedule coin-for-coin —
+// the daemon selections after restore equal the selections an uninterrupted
+// run would have drawn. Checkpoints taken before a process's first daemon
+// step carry no stream; restoring one derives the stream lazily as usual.
 
 // daemonStream derives the scheduler's selection stream from the master
 // seed. Split streams are pure functions of (seed, index), so the stream is

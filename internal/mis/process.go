@@ -118,6 +118,9 @@ type options struct {
 	// fullRescan disables the engine's frontier worklist refresh — the
 	// pre-engine cost model, kept for differential tests and benchmarks.
 	fullRescan bool
+	// ctx, when non-nil, leases all per-run scratch (engine structures,
+	// state vector, vertex streams) from a per-worker run context.
+	ctx *engine.RunContext
 }
 
 // engine translates the option set into engine options; noopWhenIdle selects
@@ -128,6 +131,7 @@ func (o options) engine(noopWhenIdle bool) engine.Options {
 		Workers:      o.workers,
 		NoopWhenIdle: noopWhenIdle,
 		FullRescan:   o.fullRescan,
+		Ctx:          o.ctx,
 	}
 }
 
@@ -183,6 +187,18 @@ func WithFullRescan() Option {
 	return func(o *options) { o.fullRescan = true }
 }
 
+// WithRunContext builds the process on leased per-worker scratch: every
+// engine structure, the state vector, and the per-vertex random streams come
+// from ctx instead of fresh allocations, so a batch worker amortizes its
+// allocations across thousands of runs. Execution is bit-identical to a
+// context-free process. The context owns the memory: constructing another
+// process (or engine) on the same context invalidates this one, so a
+// context-backed process must be run to completion and summarized before
+// the worker moves on — the internal/batch worker lifecycle.
+func WithRunContext(ctx *engine.RunContext) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
 // WithLocalTimes enables per-vertex stabilization-time recording: the round
 // at which each vertex first became stable (entered N+(I_t)) is retained
 // and exposed through the process's StabilizationTimes method. The paper's
@@ -210,7 +226,12 @@ func initialBlackMask(g *graph.Graph, o options, rng *xrand.Rand) []bool {
 		}
 		return append([]bool(nil), o.initialBlack...)
 	}
-	black := make([]bool, n)
+	var black []bool
+	if o.ctx != nil {
+		black = o.ctx.BoolBuf(n)
+	} else {
+		black = make([]bool, n)
+	}
 	switch o.init {
 	case InitRandom:
 		for u := range black {
@@ -253,13 +274,26 @@ func initialBlackMask(g *graph.Graph, o options, rng *xrand.Rand) []bool {
 
 // splitVertexStreams derives the per-vertex random streams from the master
 // seed. Stream u is master.Split(u); the master's stream indices at and
-// above n are reserved for initialization and auxiliary draws.
-func splitVertexStreams(n int, master *xrand.Rand) []*xrand.Rand {
+// above n are reserved for initialization and auxiliary draws. A run
+// context, when present, supplies the generator array allocation-free.
+func splitVertexStreams(n int, master *xrand.Rand, ctx *engine.RunContext) []*xrand.Rand {
+	if ctx != nil {
+		return ctx.VertexStreams(n, master)
+	}
 	rngs := make([]*xrand.Rand, n)
 	for u := range rngs {
 		rngs[u] = master.Split(uint64(u))
 	}
 	return rngs
+}
+
+// stateBuf returns the n-length state vector for a constructor: leased from
+// the run context when present, freshly allocated otherwise.
+func stateBuf(n int, ctx *engine.RunContext) []uint8 {
+	if ctx != nil {
+		return ctx.Uint8Buf(n)
+	}
+	return make([]uint8, n)
 }
 
 // initStreamIndex is the master stream index used for initialization coins,

@@ -127,7 +127,7 @@ func NewThreeColor(g *graph.Graph, opts ...Option) *ThreeColor {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	state := make([]uint8, n)
+	state := stateBuf(n, o.ctx)
 	irng := initStream(n, master)
 	if o.initialBlack == nil && o.init == InitRandom {
 		for u := range state {
@@ -141,10 +141,11 @@ func NewThreeColor(g *graph.Graph, opts ...Option) *ThreeColor {
 			}
 		}
 	}
-	// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7).
+	// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7). The clock
+	// is not context-pooled; 3-color runs still allocate its level arrays.
 	rule := &threeColorRule{
 		clock: phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2)),
-		rngs:  splitVertexStreams(n, master),
+		rngs:  splitVertexStreams(n, master, o.ctx),
 	}
 	rule.clock.RandomizeLevels(irng)
 	return &ThreeColor{

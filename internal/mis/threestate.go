@@ -111,7 +111,7 @@ func NewThreeState(g *graph.Graph, opts ...Option) *ThreeState {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	state := make([]uint8, n)
+	state := stateBuf(n, o.ctx)
 	irng := initStream(n, master)
 	if o.initialBlack == nil && o.init == InitRandom {
 		for u := range state {
@@ -126,7 +126,7 @@ func NewThreeState(g *graph.Graph, opts ...Option) *ThreeState {
 		}
 	}
 	return &ThreeState{
-		core: engine.New(g, threeStateRule{}, state, splitVertexStreams(n, master), o.engine(false)),
+		core: engine.New(g, threeStateRule{}, state, splitVertexStreams(n, master, o.ctx), o.engine(false)),
 		opts: o,
 	}
 }

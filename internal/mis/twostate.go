@@ -70,7 +70,7 @@ func NewTwoState(g *graph.Graph, opts ...Option) *TwoState {
 	o := buildOptions(opts)
 	master := xrand.New(o.seed)
 	n := g.N()
-	state := make([]uint8, n)
+	state := stateBuf(n, o.ctx)
 	for u, b := range initialBlackMask(g, o, initStream(n, master)) {
 		state[u] = twoWhite
 		if b {
@@ -78,7 +78,7 @@ func NewTwoState(g *graph.Graph, opts ...Option) *TwoState {
 		}
 	}
 	return &TwoState{
-		core: engine.New(g, twoStateRule{}, state, splitVertexStreams(n, master), o.engine(true)),
+		core: engine.New(g, twoStateRule{}, state, splitVertexStreams(n, master, o.ctx), o.engine(true)),
 		opts: o,
 	}
 }

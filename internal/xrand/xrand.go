@@ -65,13 +65,17 @@ func (r *Rand) Reseed(seed uint64) {
 // derive per-vertex streams: stream i of a master generator is always the
 // same for the same master seed.
 func (r *Rand) Split(index uint64) *Rand {
-	// Mix the parent's seed with the index through splitmix64 so that the
-	// child stream is a pure function of (seed, index).
-	sm := r.seed ^ bits.RotateLeft64(0xd1b54a32d192ed03*(index+1), 17)
-	seed := splitmix64(&sm)
-	child := New(seed)
-	child.seed = seed
+	child := new(Rand)
+	r.SplitInto(child, index)
 	return child
+}
+
+// SplitInto reseeds dst to the exact stream Split(index) would return,
+// without allocating. Batch workers use it to re-derive per-vertex streams
+// into a reusable backing array, so a run costs zero generator allocations.
+func (r *Rand) SplitInto(dst *Rand, index uint64) {
+	sm := r.seed ^ bits.RotateLeft64(0xd1b54a32d192ed03*(index+1), 17)
+	dst.Reseed(splitmix64(&sm))
 }
 
 // Uint64 returns the next 64 uniformly random bits.

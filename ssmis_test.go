@@ -1,6 +1,7 @@
 package ssmis_test
 
 import (
+	"reflect"
 	"testing"
 
 	"ssmis"
@@ -204,18 +205,33 @@ func TestPublicAPIRunSeeds(t *testing.T) {
 	sum := ssmis.RunSeeds(func(seed uint64) ssmis.Process {
 		return ssmis.NewTwoState(g, ssmis.WithSeed(seed))
 	}, ssmis.Seeds(1, 40), 0, 0)
-	if sum.Trials != 40 || sum.Failures != 0 {
-		t.Fatalf("trials=%d failures=%d", sum.Trials, sum.Failures)
+	if sum.Trials != 40 || sum.Failures != 0 || sum.FailedSeeds != nil {
+		t.Fatalf("trials=%d failures=%d failedSeeds=%v", sum.Trials, sum.Failures, sum.FailedSeeds)
 	}
 	if sum.MeanRounds <= 0 || sum.MaxRounds < sum.MeanRounds || sum.MeanRandomBits <= 0 {
 		t.Fatalf("bad summary: %+v", sum)
 	}
-	// Deterministic: same seeds, same summary.
+	// Deterministic: same seeds, same summary, at any worker count.
 	again := ssmis.RunSeeds(func(seed uint64) ssmis.Process {
 		return ssmis.NewTwoState(g, ssmis.WithSeed(seed))
 	}, ssmis.Seeds(1, 40), 0, 4)
-	if sum != again {
+	if !reflect.DeepEqual(sum, again) {
 		t.Fatalf("RunSeeds not deterministic: %+v vs %+v", sum, again)
+	}
+}
+
+func TestPublicAPIRunSeedsFailedSeeds(t *testing.T) {
+	// A 1-round cap on a graph with edges cannot stabilize from all-black:
+	// every seed fails, and the summary must name each one.
+	g := ssmis.Complete(32)
+	sum := ssmis.RunSeeds(func(seed uint64) ssmis.Process {
+		return ssmis.NewTwoState(g, ssmis.WithSeed(seed), ssmis.WithInit(ssmis.InitAllBlack))
+	}, ssmis.Seeds(5, 4), 1, 2)
+	if sum.Failures != 4 {
+		t.Fatalf("failures=%d, want 4", sum.Failures)
+	}
+	if !reflect.DeepEqual(sum.FailedSeeds, []uint64{5, 6, 7, 8}) {
+		t.Fatalf("FailedSeeds=%v, want the submitted seeds in order", sum.FailedSeeds)
 	}
 }
 

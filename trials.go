@@ -1,9 +1,9 @@
 package ssmis
 
 import (
-	"runtime"
-	"sync"
-
+	"ssmis/internal/batch"
+	"ssmis/internal/engine"
+	"ssmis/internal/graph"
 	"ssmis/internal/stats"
 )
 
@@ -13,6 +13,9 @@ type TrialSummary struct {
 	// the round cap without stabilizing.
 	Trials   int
 	Failures int
+	// FailedSeeds lists the exact seeds of the failed runs (nil when none),
+	// so a sweep failure reproduces with a single targeted re-run.
+	FailedSeeds []uint64
 	// Rounds statistics over the successful runs.
 	MeanRounds   float64
 	MedianRounds float64
@@ -23,64 +26,63 @@ type TrialSummary struct {
 	MeanRandomBits float64
 }
 
-// RunSeeds runs newProcess(seed) to stabilization for every seed on a
-// worker pool and aggregates the stabilization times — the library-level
-// version of the experiment harness's inner loop. maxRounds <= 0 selects
-// the default cap; workers <= 0 selects GOMAXPROCS. The factory must return
-// a fresh process per call (it is invoked concurrently).
+// RunSeeds runs newProcess(seed) to stabilization for every seed and
+// aggregates the stabilization times — the library-level version of the
+// experiment harness's inner loop, now a thin adapter over the module's
+// work-stealing batch scheduler (internal/batch): seeds are chunked across
+// per-worker deques, idle workers steal, and outcomes stream in seed order
+// into online aggregates, so the summary is bit-identical at any worker
+// count. maxRounds <= 0 selects the default cap; workers <= 0 selects
+// GOMAXPROCS. The factory must return a fresh process per call (it is
+// invoked concurrently).
 func RunSeeds(newProcess func(seed uint64) Process, seeds []uint64, maxRounds, workers int) TrialSummary {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(seeds) == 0 {
+		return TrialSummary{}
 	}
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	type outcome struct {
-		rounds float64
-		bits   float64
-		failed bool
-	}
-	outcomes := make([]outcome, len(seeds))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				p := newProcess(seeds[i])
-				res := Run(p, maxRounds)
-				if !res.Stabilized {
-					outcomes[i].failed = true
-					continue
-				}
-				outcomes[i] = outcome{rounds: float64(res.Rounds), bits: float64(res.RandomBits)}
-			}
-		}()
-	}
-	for i := range seeds {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	pool := batch.NewPool(workers)
+	defer pool.Close()
+	return RunSeedsOn(pool, newProcess, seeds, maxRounds)
+}
 
-	sum := TrialSummary{Trials: len(seeds)}
-	var rounds, bits []float64
-	for _, o := range outcomes {
-		if o.failed {
-			sum.Failures++
-			continue
-		}
-		rounds = append(rounds, o.rounds)
-		bits = append(bits, o.bits)
+// RunSeedsOn is RunSeeds against a caller-owned scheduler pool, so many
+// seed sweeps can share one pool (cross-sweep work stealing) instead of
+// paying a pool per call.
+func RunSeedsOn(pool *batch.Pool, newProcess func(seed uint64) Process, seeds []uint64, maxRounds int) TrialSummary {
+	shard := batch.Shard{
+		Seeds: seeds,
+		Run: func(_ *engine.RunContext, _ *graph.Graph, _ int, seed uint64) batch.Outcome {
+			// The factory signature cannot thread the worker's run context
+			// through; factories that want allocation amortization construct
+			// their processes with WithRunContext themselves.
+			p := newProcess(seed)
+			res := Run(p, maxRounds)
+			if !res.Stabilized {
+				return batch.Outcome{Failed: true}
+			}
+			return batch.Outcome{Rounds: res.Rounds, Bits: res.RandomBits}
+		},
 	}
-	if len(rounds) > 0 {
-		s := stats.Summarize(rounds)
-		sum.MeanRounds = s.Mean
-		sum.MedianRounds = s.Median
-		sum.MaxRounds = s.Max
-		sum.CI95 = s.MeanCI95()
-		sum.MeanRandomBits = stats.Mean(bits)
+	sum := TrialSummary{Trials: len(seeds)}
+	rounds := stats.NewQuantileStream()
+	bits := stats.NewStream()
+	pool.Submit([]batch.Shard{shard}, func(o batch.Outcome) {
+		if o.Failed {
+			sum.Failures++
+			sum.FailedSeeds = append(sum.FailedSeeds, o.Seed)
+			return
+		}
+		rounds.Add(float64(o.Rounds))
+		bits.Add(float64(o.Bits))
+	}).Wait()
+	if rounds.N() > 0 {
+		sum.MeanRounds = rounds.Mean()
+		sum.MedianRounds = rounds.Quantile(0.5)
+		sum.MaxRounds = rounds.Max()
+		sum.CI95 = rounds.MeanCI95()
+		sum.MeanRandomBits = bits.Mean()
 	}
 	return sum
 }
