@@ -1,8 +1,12 @@
 // Command misfuzz differentially fuzzes the optimized simulators against
 // the naive reference transcriptions of the paper's definitions: random
 // graphs, random seeds, full executions compared state-for-state every
-// round, plus an MIS validity check at stabilization. Any divergence prints
-// a reproducer (graph seed, process seed, round, vertex) and exits nonzero.
+// round, plus an MIS validity check at stabilization. Each case also checks
+// the asynchronous beeping medium: at drift ρ=1 it must replay the
+// simulator coin-for-coin, and at a random ρ in (1, 3] its terminal
+// configuration must still be a valid MIS with every slot inside the drift
+// bound. Any divergence prints a reproducer (graph seed, process seed,
+// round, vertex) and exits nonzero.
 //
 // Usage:
 //
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"ssmis/internal/async"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 	"ssmis/internal/verify"
@@ -53,6 +58,9 @@ func run() int {
 		}
 		if msg := fuzzThreeColor(g, caseSeed); msg != "" {
 			return report(it, n, p, caseSeed, "3-color", msg)
+		}
+		if msg := fuzzAsync(g, caseSeed); msg != "" {
+			return report(it, n, p, caseSeed, "async", msg)
 		}
 		cases++
 	}
@@ -114,6 +122,47 @@ func fuzzThreeState(g *graph.Graph, seed uint64) string {
 	}
 	if err := verify.MIS(g, opt.Black); err != nil {
 		return "stabilized to non-MIS: " + err.Error()
+	}
+	return ""
+}
+
+func fuzzAsync(g *graph.Graph, seed uint64) string {
+	limit := 4 * mis.DefaultRoundCap(g.N())
+
+	// ρ=1: the async medium must replay the simulator coin-for-coin.
+	sim := mis.NewTwoState(g, mis.WithSeed(seed))
+	simRes := mis.Run(sim, limit)
+	lock := async.NewMIS(g, seed, async.NewBounded(1), nil)
+	rounds, ok := lock.Run(limit)
+	if ok != simRes.Stabilized || rounds != simRes.Rounds {
+		return fmt.Sprintf("ρ=1 run (%d, %v) diverges from simulator (%d, %v)",
+			rounds, ok, simRes.Rounds, simRes.Stabilized)
+	}
+	for u := 0; u < g.N(); u++ {
+		if sim.Black(u) != lock.Black(u) {
+			return fmt.Sprintf("ρ=1 vertex %d: sim=%v async=%v", u, sim.Black(u), lock.Black(u))
+		}
+	}
+	if sim.RandomBits() != lock.RandomBits() {
+		return fmt.Sprintf("ρ=1 bit accounting: sim=%d async=%d", sim.RandomBits(), lock.RandomBits())
+	}
+
+	// Random drift in (1, 3]: terminal configurations stay valid MISes and
+	// every slot respects the drift bound (the engine panics otherwise; the
+	// observed extremes are re-checked here as a belt-and-braces property).
+	r := xrand.New(seed ^ 0xA5A5A5A5A5A5A5A5)
+	rho := 1 + r.Float64()*2
+	drifted := async.NewThreeStateMIS(g, seed, async.NewBounded(rho), nil)
+	if _, ok := drifted.Run(2 * limit); !ok {
+		return fmt.Sprintf("ρ=%.4f 3-state did not stabilize within %d rounds", rho, 2*limit)
+	}
+	if err := verify.MIS(g, drifted.Black); err != nil {
+		return fmt.Sprintf("ρ=%.4f terminal config: %v", rho, err)
+	}
+	min, max := drifted.Engine().ObservedSlotLens()
+	if min < async.SlotTicks || max > async.MaxSlotTicks(rho) {
+		return fmt.Sprintf("ρ=%.4f observed slot lengths [%d, %d] outside [%d, %d]",
+			rho, min, max, int64(async.SlotTicks), async.MaxSlotTicks(rho))
 	}
 	return ""
 }

@@ -13,6 +13,15 @@
 // (-workers sizes it, -batch sets the scheduler chunk) sharing one graph
 // build and per-worker engine scratch; the summary reports wall time and
 // the exact seeds of failed runs.
+//
+// With -async the process (2state or 3state) runs on the asynchronous
+// beeping medium: per-node clocks advanced by a drift model (-drift sets
+// the bound ρ, -drift-model selects bounded|eventual-sync|adversarial,
+// -gst the eventual-sync stabilization time in base slots). The execution
+// is a pure function of the flags — replays are byte-identical, which the
+// CI deterministic-replay smoke asserts:
+//
+//	misrun -graph gnp -n 300 -p 0.02 -proc 2state -seed 7 -async -drift 1.5
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"ssmis/internal/async"
 	"ssmis/internal/batch"
 	"ssmis/internal/beeping"
 	"ssmis/internal/engine"
@@ -64,6 +74,10 @@ func run() int {
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = default); with -daemon this caps daemon steps, which are single-vertex moves under central daemons")
 		progress  = flag.Bool("progress", false, "print per-round aggregates")
 		engine    = flag.String("engine", "sim", "execution engine: sim|node")
+		asyncMode = flag.Bool("async", false, "run on the asynchronous beeping medium with per-node clocks (2state/3state only)")
+		drift     = flag.Float64("drift", 1, "clock-drift bound ρ >= 1 for -async (1 = lockstep)")
+		driftName = flag.String("drift-model", "bounded", "drift model for -async: "+strings.Join(async.DriftNames(), "|"))
+		gst       = flag.Int("gst", 64, "eventual-sync drift: base slots before clock rates synchronize")
 		daemon    = flag.String("daemon", "", "schedule the process under a daemon: "+strings.Join(sched.DaemonNames(), "|")+" (2state/3state only)")
 		trials    = flag.Int("trials", 1, "run this many seeds (seed, seed+1, ...) and print summary statistics")
 		workers   = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
@@ -79,6 +93,18 @@ func run() int {
 	limit := *maxRounds
 	if limit <= 0 {
 		limit = 8 * mis.DefaultRoundCap(g.N())
+	}
+
+	if *asyncMode {
+		if *daemon != "" || *trials > 1 || *progress || *engine == "node" {
+			fmt.Fprintln(os.Stderr, "misrun: -async does not combine with -daemon, -trials, -progress or -engine node")
+			return 2
+		}
+		if *initKind != "random" {
+			fmt.Fprintln(os.Stderr, "misrun: -async draws its own random initial states (-init random only)")
+			return 2
+		}
+		return runAsync(g, *graphKind, *procKind, *seed, limit, *drift, *driftName, *gst)
 	}
 
 	if *engine == "node" {
@@ -146,6 +172,65 @@ func run() int {
 	fmt.Printf("stabilized in %d rounds; MIS size %d; %d random bits (%.2f bits/vertex/round)\n",
 		res.Rounds, misSize, res.RandomBits,
 		float64(res.RandomBits)/float64(g.N())/maxf(1, float64(res.Rounds)))
+	return 0
+}
+
+// runAsync executes one process on the asynchronous beeping medium and
+// reports virtual rounds, virtual time, clock skew, and the observed slot
+// lengths against the drift bound. Output is a pure function of the flags.
+func runAsync(g *graph.Graph, graphKind, procKind string, seed uint64, limit int, rho float64, driftName string, gst int) int {
+	d, err := async.DriftByName(driftName, rho, gst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
+		return 2
+	}
+	var (
+		rounds int
+		ok     bool
+		black  func(int) bool
+		bits   func() int64
+		eng    *async.Engine
+		model  string
+	)
+	switch procKind {
+	case "2state":
+		m := async.NewMIS(g, seed, d, nil)
+		rounds, ok = m.Run(limit)
+		black, bits, eng, model = m.Black, m.RandomBits, m.Engine(), "beeping-cd"
+	case "3state":
+		m := async.NewThreeStateMIS(g, seed, d, nil)
+		rounds, ok = m.Run(limit)
+		black, bits, eng, model = m.Black, m.RandomBits, m.Engine(), "stone-age(2ch)"
+	default:
+		fmt.Fprintf(os.Stderr, "misrun: process %q does not run on the async medium (2state|3state)\n", procKind)
+		return 2
+	}
+	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d\n", graphKind, g.N(), g.M(), g.MaxDegree())
+	gstNote := ""
+	if driftName == "eventual-sync" {
+		gstNote = fmt.Sprintf(", GST %d slots", gst)
+	}
+	fmt.Printf("async %s over %s: drift %s ρ=%.2f%s, base slot %d ticks, seed %d\n",
+		procKind, model, d.Name(), d.Rho(), gstNote, int64(async.SlotTicks), seed)
+	if !ok {
+		fmt.Printf("did NOT stabilize within %d virtual rounds\n", limit)
+		return 1
+	}
+	if err := verify.MIS(g, black); err != nil {
+		fmt.Fprintln(os.Stderr, "misrun: INVALID RESULT:", err)
+		return 1
+	}
+	misSize := 0
+	for u := 0; u < g.N(); u++ {
+		if black(u) {
+			misSize++
+		}
+	}
+	minLen, maxLen := eng.ObservedSlotLens()
+	fmt.Printf("stabilized in %d virtual rounds (%.2f base slots of virtual time); MIS size %d; %d random bits\n",
+		rounds, float64(eng.Now())/float64(async.SlotTicks), misSize, bits())
+	fmt.Printf("clocks: max skew %d slots; slot lengths observed [%d, %d] within bound [%d, %d]\n",
+		eng.MaxSkew(), minLen, maxLen, int64(async.SlotTicks), async.MaxSlotTicks(d.Rho()))
 	return 0
 }
 
@@ -284,10 +369,10 @@ func buildGraph(kind, inPath string, n int, p float64, d int, seed uint64) (*gra
 	case "tree":
 		return graph.RandomTree(n, rng), nil
 	case "grid":
-		s := isqrt(n)
+		s := graph.ISqrt(n)
 		return graph.Grid(s, s), nil
 	case "cliques":
-		s := isqrt(n)
+		s := graph.ISqrt(n)
 		return graph.DisjointCliques(s, s), nil
 	case "regular":
 		if n*d%2 != 0 {
@@ -342,14 +427,6 @@ func parseInit(s string) (mis.Init, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown init %q", s)
-}
-
-func isqrt(n int) int {
-	s := 1
-	for (s+1)*(s+1) <= n {
-		s++
-	}
-	return s
 }
 
 func maxf(a, b float64) float64 {

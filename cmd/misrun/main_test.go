@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 )
 
@@ -62,8 +63,8 @@ func TestParseInit(t *testing.T) {
 func TestIsqrt(t *testing.T) {
 	cases := map[int]int{1: 1, 3: 1, 4: 2, 99: 9, 100: 10, 101: 10}
 	for n, want := range cases {
-		if got := isqrt(n); got != want {
-			t.Errorf("isqrt(%d) = %d, want %d", n, got, want)
+		if got := graph.ISqrt(n); got != want {
+			t.Errorf("ISqrt(%d) = %d, want %d", n, got, want)
 		}
 	}
 }

@@ -38,7 +38,7 @@ func run() int {
 
 	var g *graph.Graph
 	rng := xrand.New(*seed ^ 0xabcdef)
-	side := isqrt(*n)
+	side := graph.ISqrt(*n)
 	switch *graphKind {
 	case "path":
 		g = graph.Path(*n)
@@ -82,12 +82,4 @@ func run() int {
 		return 1
 	}
 	return 0
-}
-
-func isqrt(n int) int {
-	s := 1
-	for (s+1)*(s+1) <= n {
-		s++
-	}
-	return s
 }

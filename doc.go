@@ -9,7 +9,36 @@
 //
 // # Architecture
 //
-// Execution is layered: engine → batch → trials/experiments → commands.
+// Execution is layered: engine → batch → trials/experiments → commands,
+// with three interchangeable runtimes under the engine layer:
+//
+//	                 ┌ internal/mis ──────── array simulator (frontier engine)
+//	one process,     ├ internal/noderun ──── goroutine/node, lockstep rounds
+//	one (graph,seed) │    └ beeping / stoneage program sets (Emit/Deliver)
+//	                 └ internal/async ────── per-node clocks, drifting slots,
+//	                       interval-overlap hearing (same program sets)
+//	          ↓ all three draw identical coins; async at ρ=1 ≡ noderun ≡ mis
+//	internal/batch ── work-stealing pool over (graph, seed) jobs
+//	internal/experiment (E1–E19), RunSeeds ── sweeps as batch submissions
+//	cmd/misrun · missweep · misfuzz · misviz
+//
+// Which runtime to use:
+//
+//	internal/mis      fastest; experiments, sweeps, daemon schedules (E18),
+//	                  checkpoints — the default for measurement
+//	internal/noderun  model-faithfulness: one goroutine per node, a real
+//	                  broadcast medium enforcing the beeping/stone-age
+//	                  constraints; use to certify the simulator's rules
+//	internal/async    asynchrony: per-node clocks under a drift bound ρ
+//	                  (bounded / eventual-sync / adversarial models); use to
+//	                  probe the weak-communication claim beyond lockstep
+//	                  rounds (E19, misrun -async)
+//	internal/sched    the sequential [28, 20] baseline under daemon models,
+//	                  including the k-fair fairness-boundary daemons
+//
+// All four agree wherever their models overlap: the cross-runtime
+// equivalence matrix (internal/async) pins simulator ≡ synchronous runtime
+// ≡ async-at-ρ=1 round-for-round over 20 seeds × 4 graph families.
 //
 // Layer 1 — internal/engine, one run. All three processes are thin rule
 // definitions — an activity predicate plus a per-vertex transition over at
@@ -42,11 +71,24 @@
 // internal/stats), so summaries never materialize per-run slices and are
 // bit-identical at any worker count, under any steal schedule.
 //
+// Layer 1b — internal/async, one asynchronous run. The same per-node
+// programs the synchronous runtime executes (beeping.NewPrograms,
+// stoneage.NewThreeStatePrograms) run on a discrete-event medium where
+// every node owns a clock advanced by a drift model: slots have real-tick
+// lengths within the drift bound ρ, beeps occupy the emitting node's whole
+// slot interval, and a node hears a channel iff a neighbor's beep interval
+// overlaps its listening slot. At ρ=1 the medium provably collapses to the
+// synchronous execution coin-for-coin; at ρ>1 it opens the paper's
+// weak-communication claim to asynchrony (experiment E19, misrun -async,
+// examples/asyncnet). Executions are pure functions of (graph, seed,
+// drift) — replays are byte-identical.
+//
 // Layer 3 — trials and experiments. The public RunSeeds/RunSeedsOn APIs are
 // thin adapters over a batch pool (TrialSummary reports failed seeds
-// explicitly), and the experiment harness (internal/experiment, E1–E18)
+// explicitly), and the experiment harness (internal/experiment, E1–E19)
 // submits every cell — stabilization grids, fault attacks, churn chains,
-// runtime-equivalence replays, daemon schedules — as batch jobs.
+// runtime-equivalence replays, daemon schedules, async drift sweeps — as
+// batch jobs.
 //
 // Layer 4 — commands. cmd/missweep creates ONE pool per invocation, shared
 // by all selected experiments running concurrently (-workers sizes the
@@ -62,9 +104,10 @@
 //
 // Because every vertex draws coins from its own stream split off the master
 // seed, an execution is a pure function of (graph, seed, initializer) — and
-// the engine, its parallel path, its batch-scheduled runs, and the
-// goroutine-per-node runtimes in internal/beeping and internal/stoneage all
-// draw exactly the same coins.
+// the engine, its parallel path, its batch-scheduled runs, the
+// goroutine-per-node runtimes in internal/beeping and internal/stoneage,
+// and the asynchronous medium in internal/async (whose clock streams are
+// disjoint from the coin streams) all draw exactly the same coins.
 //
 // The three processes:
 //

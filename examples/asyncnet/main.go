@@ -1,0 +1,88 @@
+// Asyncnet: the 2-state MIS process on the asynchronous beeping medium.
+//
+// The paper's synchronous model advances every node in lockstep rounds. A
+// real radio network has no global round clock: every node runs on its own
+// oscillator, slots drift apart, and a beep is heard by whoever happens to
+// be listening while it is on the air. This walkthrough runs the SAME
+// per-node program on both media and shows three things:
+//
+//  1. at drift bound ρ = 1 the asynchronous medium IS the synchronous one —
+//     identical rounds, identical MIS, identical coin usage;
+//  2. under real drift (ρ > 1, three different drift models) the process
+//     still stabilizes to a valid MIS in a comparable number of rounds;
+//  3. clock skew grows with drift while stabilization barely moves — the
+//     weak-communication claim survives asynchrony.
+//
+// Run with: go run ./examples/asyncnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssmis"
+)
+
+func main() {
+	// A sensor-field-like random graph: 1500 nodes, average degree ~8.
+	g := ssmis.GnpAvgDegree(1500, 8, 21)
+	const seed = 42
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n\n", g.N(), g.M(), g.MaxDegree())
+
+	// Step 1 — the synchronous baseline: the goroutine-per-node beeping
+	// runtime, lockstep rounds.
+	sync := ssmis.NewBeepingMIS(g, seed, nil)
+	syncRounds, ok := sync.Run(5000)
+	if !ok {
+		log.Fatal("synchronous run did not stabilize")
+	}
+	fmt.Printf("synchronous beeping:        %4d rounds, %5d random bits\n",
+		syncRounds, sync.RandomBits())
+
+	// Step 2 — the asynchronous medium at ρ = 1. Slots cannot drift, so the
+	// execution must collapse to the synchronous one coin-for-coin.
+	lock := ssmis.NewAsyncMIS(g, seed, ssmis.BoundedDrift(1), nil)
+	lockRounds, ok := lock.Run(5000)
+	if !ok {
+		log.Fatal("async ρ=1 run did not stabilize")
+	}
+	same := lockRounds == syncRounds && lock.RandomBits() == sync.RandomBits()
+	for u := 0; same && u < g.N(); u++ {
+		same = lock.Black(u) == sync.Black(u)
+	}
+	fmt.Printf("async, ρ=1 (lockstep):      %4d rounds, %5d random bits — identical to synchronous: %v\n\n",
+		lockRounds, lock.RandomBits(), same)
+	sync.Close()
+
+	// Step 3 — real asynchrony: three drift models at growing ρ. "rounds"
+	// are virtual rounds (the slowest clock's completed slots), so the
+	// numbers are comparable to the synchronous count; "skew" is how many
+	// slots the fastest clock ran ahead of the slowest.
+	fmt.Println("drift model    ρ     rounds  skew  MIS ok")
+	for _, row := range []struct {
+		name  string
+		drift ssmis.Drift
+	}{
+		{"bounded", ssmis.BoundedDrift(1.5)},
+		{"bounded", ssmis.BoundedDrift(3)},
+		{"eventual-sync", ssmis.EventualSyncDrift(3, 16)},
+		{"adversarial", ssmis.AdversarialDrift(2)},
+	} {
+		m := ssmis.NewAsyncMIS(g, seed, row.drift, nil)
+		rounds, ok := m.Run(5000)
+		if !ok {
+			log.Fatalf("%s ρ=%g did not stabilize", row.name, row.drift.Rho())
+		}
+		set := make([]int, 0, g.N())
+		for u := 0; u < g.N(); u++ {
+			if m.Black(u) {
+				set = append(set, u)
+			}
+		}
+		fmt.Printf("%-13s %4.1f  %6d  %4d  %v\n",
+			row.name, row.drift.Rho(), rounds, m.Engine().MaxSkew(),
+			ssmis.VerifyMIS(g, set) == nil)
+	}
+	fmt.Println("\nthe process never sees the medium: same Emit/Deliver program, drifting clocks,")
+	fmt.Println("interval-overlap hearing — and stabilization stays in the same ballpark.")
+}

@@ -14,10 +14,10 @@ type ExperimentConfig = experiment.Config
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = experiment.Table
 
-// Experiments returns all registered experiments in ID order (E1–E13).
+// Experiments returns all registered experiments in ID order (E1–E19).
 func Experiments() []Experiment { return experiment.Registry() }
 
-// ExperimentByID looks up an experiment ("E1".."E13", case-insensitive).
+// ExperimentByID looks up an experiment ("E1".."E19", case-insensitive).
 func ExperimentByID(id string) (Experiment, bool) { return experiment.ByID(id) }
 
 // FullExperimentConfig is the configuration recorded in EXPERIMENTS.md.

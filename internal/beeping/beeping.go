@@ -51,21 +51,24 @@ func (nd *node) Deliver(heard uint32) {
 	}
 }
 
-// MIS runs the 2-state MIS protocol over the beeping medium on g.
-type MIS struct {
-	g      *graph.Graph
-	engine *noderun.Engine
-	nodes  []*node
+// ProgramSet bundles the per-vertex 2-state programs with their
+// observer-side accessors, decoupled from any particular medium: NewMIS runs
+// a set on the synchronous noderun engine, and internal/async runs one on
+// the asynchronous per-node-clock medium. The programs themselves cannot
+// tell the difference — they only ever see Emit/Deliver.
+type ProgramSet struct {
+	nodes []*node
 }
 
-// NewMIS creates the protocol instance. initialBlack may be nil for a
-// uniformly random initial coloring (drawn exactly as the simulator's
-// InitRandom does, from the master seed's init stream).
-func NewMIS(g *graph.Graph, seed uint64, initialBlack []bool) *MIS {
-	n := g.N()
+// NewPrograms builds the n per-vertex 2-state programs. Node u's random
+// stream is Split(u) of the master seed, and a nil initialBlack draws the
+// initial colors from the init stream exactly as the simulator's InitRandom
+// does — the same coin contract as NewMIS, so executions replay the
+// simulator coin-for-coin on any medium that delivers synchronous-equivalent
+// feedback.
+func NewPrograms(n int, seed uint64, initialBlack []bool) *ProgramSet {
 	master := xrand.New(seed)
 	nodes := make([]*node, n)
-	progs := make([]noderun.Program, n)
 	var initRng *xrand.Rand
 	if initialBlack == nil {
 		initRng = master.Split(uint64(n) + 1)
@@ -78,12 +81,52 @@ func NewMIS(g *graph.Graph, seed uint64, initialBlack []bool) *MIS {
 			nd.black = initRng.Bit()
 		}
 		nodes[u] = nd
+	}
+	return &ProgramSet{nodes: nodes}
+}
+
+// Model returns the communication model the programs assume: beeping with
+// sender collision detection.
+func (ps *ProgramSet) Model() noderun.Model { return noderun.BeepingCD() }
+
+// Programs returns the per-vertex programs in vertex order.
+func (ps *ProgramSet) Programs() []noderun.Program {
+	progs := make([]noderun.Program, len(ps.nodes))
+	for u, nd := range ps.nodes {
 		progs[u] = nd
 	}
+	return progs
+}
+
+// Black reports vertex u's current color (valid while the medium is
+// quiescent).
+func (ps *ProgramSet) Black(u int) bool { return ps.nodes[u].black }
+
+// RandomBits returns the total random bits drawn across all programs.
+func (ps *ProgramSet) RandomBits() int64 {
+	var total int64
+	for _, nd := range ps.nodes {
+		total += nd.bits
+	}
+	return total
+}
+
+// MIS runs the 2-state MIS protocol over the beeping medium on g.
+type MIS struct {
+	g      *graph.Graph
+	engine *noderun.Engine
+	ps     *ProgramSet
+}
+
+// NewMIS creates the protocol instance. initialBlack may be nil for a
+// uniformly random initial coloring (drawn exactly as the simulator's
+// InitRandom does, from the master seed's init stream).
+func NewMIS(g *graph.Graph, seed uint64, initialBlack []bool) *MIS {
+	ps := NewPrograms(g.N(), seed, initialBlack)
 	return &MIS{
 		g:      g,
-		engine: noderun.NewEngine(g, noderun.BeepingCD(), progs),
-		nodes:  nodes,
+		engine: noderun.NewEngine(g, ps.Model(), ps.Programs()),
+		ps:     ps,
 	}
 }
 
@@ -94,16 +137,10 @@ func (m *MIS) Close() { m.engine.Close() }
 func (m *MIS) Round() int { return m.engine.Round() }
 
 // Black reports vertex u's current color (valid between rounds).
-func (m *MIS) Black(u int) bool { return m.nodes[u].black }
+func (m *MIS) Black(u int) bool { return m.ps.Black(u) }
 
 // RandomBits returns the total random bits drawn across all nodes.
-func (m *MIS) RandomBits() int64 {
-	var total int64
-	for _, nd := range m.nodes {
-		total += nd.bits
-	}
-	return total
-}
+func (m *MIS) RandomBits() int64 { return m.ps.RandomBits() }
 
 // Stabilized reports whether no vertex is active, i.e. the black set is an
 // MIS. This is an observer-side check (the nodes themselves cannot detect

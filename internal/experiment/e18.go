@@ -118,6 +118,7 @@ func e18DaemonSchedules() Experiment {
 			t.Notes = append(t.Notes,
 				"2-state stabilizes under every daemon incl. adversarial (the [28,31] claim); ~1 move/vertex under central daemons",
 				"3-state livelocks under central-adversarial: its black0→white demotion is reactive and the starved neighbor never fires",
+				"the livelock exists only at k=∞: the k-fair:4 row (adversarial within a 4-step fairness window) restores 3-state stabilization — boundary pinned by internal/mis's daemon fairness tests",
 			)
 			return []Table{t}
 		},

@@ -267,6 +267,7 @@ func Registry() []Experiment {
 		e16MISQuality(),
 		e17RestartScheme(),
 		e18DaemonSchedules(),
+		e19AsyncDrift(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(exps))
 	}
 	for i, e := range exps {
 		wantID := "E" + itoa(i+1)
@@ -132,7 +132,7 @@ func TestExperimentsDeterministicAcrossPools(t *testing.T) {
 	if testing.Short() {
 		t.Skip("determinism sweep skipped in -short mode")
 	}
-	for _, id := range []string{"E2", "E9", "E15"} {
+	for _, id := range []string{"E2", "E9", "E15", "E19"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("%s missing", id)

@@ -286,3 +286,14 @@ func (g *Graph) AvgDegreeOfSubset(s []int) float64 {
 	}
 	return 2 * float64(edges) / float64(len(s))
 }
+
+// ISqrt returns the integer square root ⌊√n⌋ (1 for n < 1): the side length
+// used to shape "about n vertices" into grid and disjoint-clique families
+// by the commands and the experiment harness.
+func ISqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -2,8 +2,11 @@ package mis
 
 import (
 	"math"
+	"strings"
 	"testing"
 
+	"ssmis/internal/batch"
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/sched"
 	"ssmis/internal/xrand"
@@ -315,6 +318,113 @@ func TestCheckpointDaemonResume(t *testing.T) {
 			for u := 0; u < g.N(); u++ {
 				if full.Black(u) != restored.Black(u) {
 					t.Fatalf("%s/%s: final states diverged at %d", procKind, dname, u)
+				}
+			}
+		}
+	}
+}
+
+// A batch sweep whose every run is checkpointed mid-flight, serialized,
+// restored and finished on the work-stealing pool must reproduce the
+// uninterrupted sweep exactly — per-seed rounds, bit totals and final
+// colors, for all three processes — and identically at workers=1 and
+// workers=8 under maximal steal pressure (chunk=1). This is the
+// batch-sweep face of the checkpoint contract: resume composes with the
+// scheduler, not just with a single synchronous run.
+func TestCheckpointBatchSweepResume(t *testing.T) {
+	g := graph.Gnp(80, 0.06, xrand.New(77))
+	limit := 8 * DefaultRoundCap(g.N())
+
+	type outcome struct {
+		rounds int
+		bits   int64
+		black  string
+	}
+	finish := func(p Process) outcome {
+		res := Run(p, limit)
+		if !res.Stabilized {
+			return outcome{rounds: -1}
+		}
+		var b strings.Builder
+		for u := 0; u < g.N(); u++ {
+			if p.Black(u) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return outcome{rounds: res.Rounds, bits: res.RandomBits, black: b.String()}
+	}
+
+	kinds := []struct {
+		name    string
+		mk      func(seed uint64) Process
+		restore func(cp *Checkpoint) (Process, error)
+	}{
+		{"2state",
+			func(seed uint64) Process { return NewTwoState(g, WithSeed(seed)) },
+			func(cp *Checkpoint) (Process, error) { return RestoreTwoState(g, cp) }},
+		{"3state",
+			func(seed uint64) Process { return NewThreeState(g, WithSeed(seed)) },
+			func(cp *Checkpoint) (Process, error) { return RestoreThreeState(g, cp) }},
+		{"3color",
+			func(seed uint64) Process { return NewThreeColor(g, WithSeed(seed)) },
+			func(cp *Checkpoint) (Process, error) { return RestoreThreeColor(g, cp) }},
+	}
+
+	seeds := make([]uint64, 10)
+	for i := range seeds {
+		seeds[i] = uint64(100 + i)
+	}
+	for _, kind := range kinds {
+		want := make([]outcome, len(seeds))
+		for i, s := range seeds {
+			want[i] = finish(kind.mk(s))
+			if want[i].rounds < 0 {
+				t.Fatalf("%s seed %d: uninterrupted run hit the cap", kind.name, s)
+			}
+		}
+		for _, workers := range []int{1, 8} {
+			pool := batch.NewPool(workers)
+			got := make([]outcome, 0, len(seeds))
+			pool.SubmitOpts([]batch.Shard{{
+				Seeds: seeds,
+				Run: func(_ *engine.RunContext, _ *graph.Graph, _ int, seed uint64) batch.Outcome {
+					p := kind.mk(seed)
+					const pauseAt = 3
+					for i := 0; i < pauseAt; i++ {
+						p.Step()
+					}
+					cp, err := p.(interface{ Checkpoint() (*Checkpoint, error) }).Checkpoint()
+					if err != nil {
+						return batch.Outcome{Failed: true}
+					}
+					blob, err := cp.Encode()
+					if err != nil {
+						return batch.Outcome{Failed: true}
+					}
+					decoded, err := DecodeCheckpoint(blob)
+					if err != nil {
+						return batch.Outcome{Failed: true}
+					}
+					restored, err := kind.restore(decoded)
+					if err != nil {
+						return batch.Outcome{Failed: true}
+					}
+					return batch.Outcome{Extra: finish(restored)}
+				},
+			}}, batch.SubmitOptions{ChunkSize: 1}, func(o batch.Outcome) {
+				if o.Failed {
+					got = append(got, outcome{rounds: -2})
+					return
+				}
+				got = append(got, o.Extra.(outcome))
+			}).Wait()
+			pool.Close()
+			for i := range seeds {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d seed %d: resumed outcome %+v != uninterrupted %+v",
+						kind.name, workers, seeds[i], got[i], want[i])
 				}
 			}
 		}

@@ -1,0 +1,98 @@
+package mis
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/sched"
+	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
+)
+
+// The 3-state process's livelock under the adversarial central daemon (E18)
+// has a two-vertex provable core: K2 with both vertices in black0. Both
+// vertices are privileged forever (each is black with a black neighbor and
+// never in the stable core), the adversarial daemon always selects vertex 0,
+// and vertex 1 — the one whose demotion or re-randomization would break the
+// conflict — never fires. No coin sequence escapes: the configuration stays
+// all-black and never stabilizes.
+func newBlackBlackPair(t *testing.T, seed uint64) *ThreeState {
+	t.Helper()
+	p := NewThreeState(graph.Complete(2), WithSeed(seed))
+	p.Corrupt(0, TriBlack0)
+	p.Corrupt(1, TriBlack0)
+	return p
+}
+
+// The fairness boundary of the E18 livelock: it exists ONLY at k = ∞
+// (central-adversarial). Every finite k-fairness window lets the starved
+// vertex fire within ~k steps, dissolving the livelock, with stabilization
+// cost growing linearly in the window size.
+func TestThreeStateLivelockFairnessBoundary(t *testing.T) {
+	const cap = 4096
+
+	// k = ∞: the provable livelock — the step cap is hit, with the full
+	// per-step move budget burned on vertex 0.
+	p := newBlackBlackPair(t, 3)
+	if steps, ok := p.DaemonRun(sched.CentralAdversarial{}, cap); ok {
+		t.Fatalf("central-adversarial stabilized the provable livelock instance in %d steps", steps)
+	}
+	if p.Moves() != cap {
+		t.Fatalf("livelock moved %d times in %d steps, want one starved move per step", p.Moves(), cap)
+	}
+
+	// Finite k: the livelock disappears for EVERY window, and the step cost
+	// stays O(k) — the starved demotion fires within a window of the first
+	// black1/black0 conflict.
+	for _, k := range []int{1, 2, 4, 16, 64, 256} {
+		p := newBlackBlackPair(t, 3)
+		steps, ok := p.DaemonRun(sched.NewKFair(k), cap)
+		if !ok {
+			t.Fatalf("%d-fair hit the %d-step cap: the livelock survived a finite window", k, cap)
+		}
+		if err := verify.MIS(p.Graph(), p.Black); err != nil {
+			t.Fatalf("%d-fair terminal configuration: %v", k, err)
+		}
+		if steps > 20*(k+10) {
+			t.Fatalf("%d-fair took %d steps, want O(k)", k, steps)
+		}
+	}
+}
+
+// The same boundary on the E18 workload shape: on G(n, avg8) the 3-state
+// process livelocks under central-adversarial but stabilizes under k-fair
+// windows, while the 2-state process — whose demotion is not reactive —
+// stabilizes under both.
+func TestDaemonFairnessBoundaryOnGnp(t *testing.T) {
+	g := graph.GnpAvgDegree(96, 8, xrand.New(2023))
+	cap := 200 * g.N()
+
+	three := NewThreeState(g, WithSeed(7))
+	if steps, ok := three.DaemonRun(sched.CentralAdversarial{}, cap); ok {
+		t.Fatalf("3-state stabilized under central-adversarial in %d steps (expected livelock)", steps)
+	}
+
+	for _, k := range []int{1, 4, 16} {
+		p := NewThreeState(g, WithSeed(7))
+		if _, ok := p.DaemonRun(sched.NewKFair(k), cap); !ok {
+			t.Fatalf("3-state hit the step cap under %d-fair", k)
+		}
+		if err := verify.MIS(g, p.Black); err != nil {
+			t.Fatalf("3-state under %d-fair: %v", k, err)
+		}
+	}
+
+	for _, dname := range []string{"central-adversarial", "k-fair:4"} {
+		d, err := sched.DaemonByName(dname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewTwoState(g, WithSeed(7))
+		if _, ok := p.DaemonRun(d, cap); !ok {
+			t.Fatalf("2-state hit the step cap under %s", dname)
+		}
+		if err := verify.MIS(g, p.Black); err != nil {
+			t.Fatalf("2-state under %s: %v", dname, err)
+		}
+	}
+}

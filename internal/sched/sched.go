@@ -16,6 +16,8 @@ package sched
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
@@ -112,17 +114,90 @@ func (DistributedRandom) Select(privileged []int, rng *xrand.Rand) []int {
 	return out
 }
 
+// KFair is a central daemon that is adversarial within a fairness window:
+// each step it moves the lowest-index privileged vertex — the
+// CentralAdversarial choice — unless some vertex has stayed privileged,
+// unselected, for at least k consecutive steps, in which case the
+// longest-starved such vertex (ties to the lowest index) moves instead.
+// Since the longest-starved vertex is always served first, no continuously
+// privileged vertex starves forever, and when a single vertex is starved it
+// is served within k steps of becoming privileged.
+//
+// k is the classical knob between the adversarial central daemon (k = ∞)
+// and a fully fair one (k = 1 serves the longest-privileged vertex every
+// step). The 3-state process's livelock under CentralAdversarial —
+// experiment E18, pinned by the daemon tests in internal/mis — exists only
+// at k = ∞: every finite window lets the starved demotion fire.
+type KFair struct {
+	k    int
+	step int
+	seen []int // last step at which u was privileged
+	run  []int // consecutive privileged steps since u last moved
+}
+
+// NewKFair returns a k-fair central daemon; k < 1 panics.
+func NewKFair(k int) *KFair {
+	if k < 1 {
+		panic(fmt.Sprintf("sched: k-fair window %d < 1", k))
+	}
+	return &KFair{k: k}
+}
+
+// Name implements Daemon.
+func (d *KFair) Name() string { return fmt.Sprintf("k-fair:%d", d.k) }
+
+// Select implements Daemon.
+func (d *KFair) Select(privileged []int, _ *xrand.Rand) []int {
+	d.step++
+	if top := privileged[len(privileged)-1]; top >= len(d.seen) {
+		seen := make([]int, top+1)
+		run := make([]int, top+1)
+		copy(seen, d.seen)
+		copy(run, d.run)
+		d.seen, d.run = seen, run
+	}
+	pick, best := privileged[0], 0
+	for _, u := range privileged {
+		if d.seen[u] == d.step-1 {
+			d.run[u]++
+		} else {
+			d.run[u] = 1
+		}
+		d.seen[u] = d.step
+		if d.run[u] >= d.k && d.run[u] > best {
+			best, pick = d.run[u], u
+		}
+	}
+	d.run[pick] = 0
+	return []int{pick}
+}
+
 // DaemonNames lists the selectable daemon models in presentation order.
 func DaemonNames() []string {
 	return []string{
 		"synchronous", "central-adversarial", "central-random",
-		"distributed-random", "round-robin",
+		"distributed-random", "round-robin", "k-fair:4",
 	}
 }
 
+// defaultKFairWindow is the window the bare "k-fair" name selects.
+const defaultKFairWindow = 4
+
 // DaemonByName returns a fresh daemon instance for the given name (stateful
-// daemons like round-robin must not be shared across runs).
+// daemons like round-robin and k-fair must not be shared across runs).
+// "k-fair" takes an optional window suffix: "k-fair:8" is the 8-fair
+// central daemon, bare "k-fair" defaults to k = 4.
 func DaemonByName(name string) (Daemon, error) {
+	if name == "k-fair" {
+		return NewKFair(defaultKFairWindow), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "k-fair:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("sched: bad k-fair window %q (want a positive integer)", rest)
+		}
+		return NewKFair(k), nil
+	}
 	switch name {
 	case "synchronous":
 		return Synchronous{}, nil

@@ -77,20 +77,20 @@ func (nd *triNode) Deliver(heard uint32) {
 	}
 }
 
-// ThreeStateMIS runs the 3-state MIS protocol over the stone age medium.
-type ThreeStateMIS struct {
-	g      *graph.Graph
-	engine *noderun.Engine
-	nodes  []*triNode
+// ThreeStateProgramSet bundles the per-vertex 3-state programs with their
+// observer-side accessors, decoupled from any particular medium:
+// NewThreeStateMIS runs a set on the synchronous noderun engine, and
+// internal/async runs one on the asynchronous per-node-clock medium.
+type ThreeStateProgramSet struct {
+	nodes []*triNode
 }
 
-// NewThreeStateMIS creates the protocol. initial may be nil for uniformly
-// random states drawn exactly as the simulator's InitRandom does.
-func NewThreeStateMIS(g *graph.Graph, seed uint64, initial []mis.TriState) *ThreeStateMIS {
-	n := g.N()
+// NewThreeStatePrograms builds the n per-vertex 3-state programs. Node u's
+// random stream is Split(u) of the master seed; a nil initial draws the
+// states from the init stream exactly as the simulator's InitRandom does.
+func NewThreeStatePrograms(n int, seed uint64, initial []mis.TriState) *ThreeStateProgramSet {
 	master := xrand.New(seed)
 	nodes := make([]*triNode, n)
-	progs := make([]noderun.Program, n)
 	var initRng *xrand.Rand
 	if initial == nil {
 		initRng = master.Split(uint64(n) + 1)
@@ -103,12 +103,54 @@ func NewThreeStateMIS(g *graph.Graph, seed uint64, initial []mis.TriState) *Thre
 			nd.state = mis.TriState(1 + initRng.Intn(3))
 		}
 		nodes[u] = nd
+	}
+	return &ThreeStateProgramSet{nodes: nodes}
+}
+
+// Model returns the communication model the programs assume: the 2-channel
+// stone age alphabet.
+func (ps *ThreeStateProgramSet) Model() noderun.Model { return noderun.StoneAge(2) }
+
+// Programs returns the per-vertex programs in vertex order.
+func (ps *ThreeStateProgramSet) Programs() []noderun.Program {
+	progs := make([]noderun.Program, len(ps.nodes))
+	for u, nd := range ps.nodes {
 		progs[u] = nd
 	}
+	return progs
+}
+
+// Black reports vertex u's color projection (valid while the medium is
+// quiescent).
+func (ps *ThreeStateProgramSet) Black(u int) bool { return ps.nodes[u].state.Black() }
+
+// State returns vertex u's full state.
+func (ps *ThreeStateProgramSet) State(u int) mis.TriState { return ps.nodes[u].state }
+
+// RandomBits returns the total random bits drawn across all programs.
+func (ps *ThreeStateProgramSet) RandomBits() int64 {
+	var total int64
+	for _, nd := range ps.nodes {
+		total += nd.bits
+	}
+	return total
+}
+
+// ThreeStateMIS runs the 3-state MIS protocol over the stone age medium.
+type ThreeStateMIS struct {
+	g      *graph.Graph
+	engine *noderun.Engine
+	ps     *ThreeStateProgramSet
+}
+
+// NewThreeStateMIS creates the protocol. initial may be nil for uniformly
+// random states drawn exactly as the simulator's InitRandom does.
+func NewThreeStateMIS(g *graph.Graph, seed uint64, initial []mis.TriState) *ThreeStateMIS {
+	ps := NewThreeStatePrograms(g.N(), seed, initial)
 	return &ThreeStateMIS{
 		g:      g,
-		engine: noderun.NewEngine(g, noderun.StoneAge(2), progs),
-		nodes:  nodes,
+		engine: noderun.NewEngine(g, ps.Model(), ps.Programs()),
+		ps:     ps,
 	}
 }
 
@@ -119,19 +161,13 @@ func (m *ThreeStateMIS) Close() { m.engine.Close() }
 func (m *ThreeStateMIS) Round() int { return m.engine.Round() }
 
 // Black reports vertex u's color projection (valid between rounds).
-func (m *ThreeStateMIS) Black(u int) bool { return m.nodes[u].state.Black() }
+func (m *ThreeStateMIS) Black(u int) bool { return m.ps.Black(u) }
 
 // State returns vertex u's full state.
-func (m *ThreeStateMIS) State(u int) mis.TriState { return m.nodes[u].state }
+func (m *ThreeStateMIS) State(u int) mis.TriState { return m.ps.State(u) }
 
 // RandomBits returns the total random bits drawn across all nodes.
-func (m *ThreeStateMIS) RandomBits() int64 {
-	var total int64
-	for _, nd := range m.nodes {
-		total += nd.bits
-	}
-	return total
-}
+func (m *ThreeStateMIS) RandomBits() int64 { return m.ps.RandomBits() }
 
 // Stabilized reports whether N+(I) covers the graph (observer-side check).
 func (m *ThreeStateMIS) Stabilized() bool {

@@ -123,8 +123,8 @@ func TestPublicAPIVerifyRejectsBadSets(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	exps := ssmis.Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("%d experiments, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("%d experiments, want 19", len(exps))
 	}
 	if _, ok := ssmis.ExperimentByID("E1"); !ok {
 		t.Fatal("E1 missing")
