@@ -8,6 +8,15 @@
 // bound. Any divergence prints a reproducer (graph seed, process seed,
 // round, vertex) and exits nonzero.
 //
+// Each case also attacks the checkpoint layer (internal/snapshot): a
+// mid-run snapshot is encoded, decoded, and restored, and the resumed
+// execution must match the uninterrupted one state-for-state to
+// stabilization — including a daemon-scheduled resume, whose selection
+// stream rides in the snapshot. Random truncations, byte corruptions, and
+// a version-skewed header of the encoded bytes must all be REJECTED:
+// resuming silently wrong is the checkpoint layer's one forbidden failure
+// mode.
+//
 // Usage:
 //
 //	misfuzz -iterations 2000        # bounded run (CI-friendly)
@@ -15,13 +24,18 @@
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"ssmis/internal/async"
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
+	"ssmis/internal/sched"
+	"ssmis/internal/snapshot"
 	"ssmis/internal/verify"
 	"ssmis/internal/xrand"
 )
@@ -61,6 +75,9 @@ func run() int {
 		}
 		if msg := fuzzAsync(g, caseSeed); msg != "" {
 			return report(it, n, p, caseSeed, "async", msg)
+		}
+		if msg := fuzzSnapshot(g, caseSeed); msg != "" {
+			return report(it, n, p, caseSeed, "snapshot", msg)
 		}
 		cases++
 	}
@@ -194,6 +211,121 @@ func fuzzThreeColor(g *graph.Graph, seed uint64) string {
 	}
 	if err := verify.MIS(g, opt.Black); err != nil {
 		return "stabilized to non-MIS: " + err.Error()
+	}
+	return ""
+}
+
+// fuzzSnapshot checkpoints executions mid-run through the full
+// encode/decode path, resumes them, and requires the resumed runs to match
+// the uninterrupted ones exactly; it then mutates the encoded bytes and
+// requires every damaged variant to be rejected.
+func fuzzSnapshot(g *graph.Graph, seed uint64) string {
+	r := xrand.New(seed ^ 0x5bd1e9955bd1e995)
+	limit := 8 * mis.DefaultRoundCap(g.N())
+
+	// Synchronous 3-color resume (the process with the most snapshot
+	// surface: colors, switch levels, clock bit accounting).
+	full := mis.NewThreeColor(g, mis.WithSeed(seed))
+	paused := mis.NewThreeColor(g, mis.WithSeed(seed))
+	pauseAt := 1 + r.Intn(8)
+	for i := 0; i < pauseAt; i++ {
+		full.Step()
+		paused.Step()
+	}
+	cp, err := paused.Checkpoint()
+	if err != nil {
+		return "checkpoint: " + err.Error()
+	}
+	blob, err := cp.Encode()
+	if err != nil {
+		return "encode: " + err.Error()
+	}
+
+	// Damage: random truncations and byte flips, plus a version-skewed
+	// header with a valid checksum, must all be rejected.
+	for k := 0; k < 6; k++ {
+		if _, err := mis.DecodeCheckpoint(blob[:r.Intn(len(blob))]); err == nil {
+			return "truncated snapshot accepted"
+		}
+		mut := append([]byte(nil), blob...)
+		pos := r.Intn(len(mut))
+		mut[pos] ^= byte(1 + r.Intn(255))
+		if _, err := mis.DecodeCheckpoint(mut); err == nil {
+			return fmt.Sprintf("corrupted snapshot (byte %d) accepted", pos)
+		}
+	}
+	skew := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(skew[8:], snapshot.Version+1+uint32(r.Intn(7)))
+	binary.LittleEndian.PutUint32(skew[len(skew)-4:], crc32.ChecksumIEEE(skew[:len(skew)-4]))
+	if _, err := mis.DecodeCheckpoint(skew); !errors.Is(err, snapshot.ErrVersion) {
+		return fmt.Sprintf("version-skewed snapshot: %v, want ErrVersion", err)
+	}
+
+	decoded, err := mis.DecodeCheckpoint(blob)
+	if err != nil {
+		return "decode: " + err.Error()
+	}
+	restored, err := mis.RestoreThreeColor(g, decoded)
+	if err != nil {
+		return "restore: " + err.Error()
+	}
+	for i := 0; i < limit && !full.Stabilized(); i++ {
+		full.Step()
+		restored.Step()
+		for u := 0; u < g.N(); u++ {
+			if full.ColorOf(u) != restored.ColorOf(u) || full.SwitchLevel(u) != restored.SwitchLevel(u) {
+				return fmt.Sprintf("resume diverged at round %d vertex %d", full.Round(), u)
+			}
+		}
+	}
+	if !restored.Stabilized() || full.RandomBits() != restored.RandomBits() {
+		return fmt.Sprintf("resume accounting: stabilized=%v bits %d vs %d",
+			restored.Stabilized(), full.RandomBits(), restored.RandomBits())
+	}
+
+	// Daemon-scheduled 2-state resume: the scheduler stream rides in the
+	// snapshot, so the resumed schedule must equal the uninterrupted one.
+	d1, d2 := sched.CentralRandom{}, sched.CentralRandom{}
+	dfull := mis.NewTwoState(g, mis.WithSeed(seed))
+	dpaused := mis.NewTwoState(g, mis.WithSeed(seed))
+	dPauseAt := 1 + r.Intn(3*g.N())
+	for i := 0; i < dPauseAt; i++ {
+		if !dfull.DaemonStep(d1) {
+			break
+		}
+		dpaused.DaemonStep(d2)
+	}
+	dcp, err := dpaused.Checkpoint()
+	if err != nil {
+		return "daemon checkpoint: " + err.Error()
+	}
+	dblob, err := dcp.Encode()
+	if err != nil {
+		return "daemon encode: " + err.Error()
+	}
+	ddec, err := mis.DecodeCheckpoint(dblob)
+	if err != nil {
+		return "daemon decode: " + err.Error()
+	}
+	dres, err := mis.RestoreTwoState(g, ddec)
+	if err != nil {
+		return "daemon restore: " + err.Error()
+	}
+	stepCap := mis.DefaultDaemonStepCap(g.N())
+	for dfull.Steps() < stepCap && !dfull.Stabilized() {
+		if !dfull.DaemonStep(d1) {
+			break
+		}
+		dres.DaemonStep(d2)
+		for u := 0; u < g.N(); u++ {
+			if dfull.Black(u) != dres.Black(u) {
+				return fmt.Sprintf("daemon resume diverged at step %d vertex %d", dfull.Steps(), u)
+			}
+		}
+	}
+	if dfull.Stabilized() != dres.Stabilized() || dfull.Moves() != dres.Moves() {
+		return fmt.Sprintf("daemon resume accounting: stabilized %v/%v moves %d/%d",
+			dfull.Stabilized(), dres.Stabilized(), dfull.Moves(), dres.Moves())
 	}
 	return ""
 }

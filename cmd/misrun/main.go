@@ -22,6 +22,21 @@
 // CI deterministic-replay smoke asserts:
 //
 //	misrun -graph gnp -n 300 -p 0.02 -proc 2state -seed 7 -async -drift 1.5
+//
+// Checkpointing (sim engine, single runs and -daemon runs): -checkpoint
+// writes a versioned process snapshot (internal/snapshot envelope: format
+// version, checksum, atomic write-rename) when the run exits, and every
+// -checkpoint-every rounds (daemon steps under -daemon) mid-run; -resume
+// restores one and continues the exact execution — same coins, same
+// rounds, same daemon selections (stateful daemons' schedule history
+// rides in the snapshot). Interrupt a run with -max-rounds, resume it,
+// and the final line is byte-identical to the uninterrupted run:
+//
+//	misrun -graph gnp -n 500 -seed 3 -max-rounds 10 -checkpoint s.ckpt
+//	misrun -graph gnp -n 500 -seed 3 -resume s.ckpt
+//
+// Truncated, corrupted, or version-skewed snapshot files are rejected
+// loudly instead of resuming silently wrong.
 package main
 
 import (
@@ -39,6 +54,7 @@ import (
 	"ssmis/internal/graphio"
 	"ssmis/internal/mis"
 	"ssmis/internal/sched"
+	"ssmis/internal/snapshot"
 	"ssmis/internal/stats"
 	"ssmis/internal/stoneage"
 	"ssmis/internal/verify"
@@ -82,6 +98,9 @@ func run() int {
 		trials    = flag.Int("trials", 1, "run this many seeds (seed, seed+1, ...) and print summary statistics")
 		workers   = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
 		chunk     = flag.Int("batch", 0, "seeds per scheduler chunk for -trials (0 = auto)")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable process snapshot here at exit (atomic write-rename)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "also snapshot every this many rounds (daemon steps with -daemon); 0 = only at exit")
+		resumeStr = flag.String("resume", "", "resume the run from this process snapshot (sim engine; graph flags must rebuild the same graph)")
 	)
 	flag.Parse()
 
@@ -93,6 +112,31 @@ func run() int {
 	limit := *maxRounds
 	if limit <= 0 {
 		limit = 8 * mis.DefaultRoundCap(g.N())
+	}
+
+	if (*ckptPath != "" || *resumeStr != "") && (*asyncMode || *engine == "node" || *trials > 1) {
+		fmt.Fprintln(os.Stderr, "misrun: -checkpoint/-resume support the sim engine's single-run and -daemon paths only")
+		return 2
+	}
+	var cp *mis.Checkpoint
+	if *resumeStr != "" {
+		var c mis.Checkpoint
+		if err := snapshot.ReadFile(*resumeStr, snapshot.KindProcess, &c); err != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", err)
+			return 1
+		}
+		if want := procName(*procKind); want != "" && want != c.Process {
+			fmt.Fprintf(os.Stderr, "misrun: snapshot is a %s execution, -proc selects %s\n", c.Process, want)
+			return 2
+		}
+		// A daemon-run snapshot continued with synchronous rounds would be a
+		// mixed-semantics execution — the silent-wrong resume this layer
+		// exists to rule out.
+		if c.DaemonName != "" && *daemon == "" {
+			fmt.Fprintf(os.Stderr, "misrun: snapshot is a daemon-scheduled run; resume it with -daemon %s\n", c.DaemonName)
+			return 2
+		}
+		cp = &c
 	}
 
 	if *asyncMode {
@@ -125,33 +169,59 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "misrun: -daemon does not combine with -trials or -progress")
 			return 2
 		}
-		return runDaemon(g, *procKind, *daemon, init, *seed, *maxRounds)
+		return runDaemon(g, *procKind, *daemon, init, *seed, *maxRounds, cp, *ckptPath, *ckptEvery)
 	}
 	if *trials > 1 {
 		return runTrials(g, *procKind, init, *seed, *trials, limit, *workers, *chunk)
 	}
 	var proc mis.Process
-	switch *procKind {
-	case "2state":
-		proc = mis.NewTwoState(g, mis.WithSeed(*seed), mis.WithInit(init))
-	case "3state":
-		proc = mis.NewThreeState(g, mis.WithSeed(*seed), mis.WithInit(init))
-	case "3color":
-		proc = mis.NewThreeColor(g, mis.WithSeed(*seed), mis.WithInit(init))
-	default:
-		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", *procKind)
-		return 2
+	if cp != nil {
+		if proc, err = restoreProcess(g, cp); err != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", err)
+			return 1
+		}
+	} else {
+		switch *procKind {
+		case "2state":
+			proc = mis.NewTwoState(g, mis.WithSeed(*seed), mis.WithInit(init))
+		case "3state":
+			proc = mis.NewThreeState(g, mis.WithSeed(*seed), mis.WithInit(init))
+		case "3color":
+			proc = mis.NewThreeColor(g, mis.WithSeed(*seed), mis.WithInit(init))
+		default:
+			fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", *procKind)
+			return 2
+		}
 	}
 
 	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d\n", *graphKind, g.N(), g.M(), g.MaxDegree())
-	fmt.Printf("process %s (%d states), init %s, seed %d\n", proc.Name(), proc.States(), init, *seed)
+	if cp != nil {
+		fmt.Printf("process %s (%d states), resumed from %s at round %d\n",
+			proc.Name(), proc.States(), *resumeStr, proc.Round())
+	} else {
+		fmt.Printf("process %s (%d states), init %s, seed %d\n", proc.Name(), proc.States(), init, *seed)
+	}
 
-	if *progress {
-		for !proc.Stabilized() && proc.Round() < limit {
+	for !proc.Stabilized() && proc.Round() < limit {
+		if *progress {
 			m := mis.Snapshot(proc)
 			fmt.Printf("round %4d: black=%d active=%d stable-black=%d unstable=%d gray=%d\n",
 				m.Round, m.Black, m.Active, m.StableBlack, m.Unstable, m.Gray)
-			proc.Step()
+		}
+		proc.Step()
+		if *ckptPath != "" && *ckptEvery > 0 && proc.Round()%*ckptEvery == 0 {
+			if err := writeSnapshot(*ckptPath, proc, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "misrun:", err)
+				return 1
+			}
+		}
+	}
+	if *ckptPath != "" {
+		// Exit snapshot: resuming a capped run continues it; a stabilized
+		// run's snapshot restores to the terminal configuration.
+		if err := writeSnapshot(*ckptPath, proc, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", err)
+			return 1
 		}
 	}
 	res := mis.Run(proc, limit)
@@ -234,27 +304,141 @@ func runAsync(g *graph.Graph, graphKind, procKind string, seed uint64, limit int
 	return 0
 }
 
+// procName maps a -proc flag value to the checkpoint family name ("" for
+// unknown values, which the construction paths reject themselves).
+func procName(procKind string) string {
+	switch procKind {
+	case "2state":
+		return "2-state"
+	case "3state":
+		return "3-state"
+	case "3color":
+		return "3-color"
+	}
+	return ""
+}
+
+// checkpointable is the snapshot surface of the sim-engine processes.
+type checkpointable interface {
+	Checkpoint() (*mis.Checkpoint, error)
+}
+
+// restoreProcess rebuilds the snapshot's process family on g.
+func restoreProcess(g *graph.Graph, cp *mis.Checkpoint) (mis.Process, error) {
+	switch cp.Process {
+	case "2-state":
+		return mis.RestoreTwoState(g, cp)
+	case "3-state":
+		return mis.RestoreThreeState(g, cp)
+	case "3-color":
+		return mis.RestoreThreeColor(g, cp)
+	}
+	return nil, fmt.Errorf("snapshot has unknown process family %q", cp.Process)
+}
+
+// writeSnapshot atomically writes the process's snapshot; a non-nil daemon
+// contributes its name and (for stateful daemons) its schedule history.
+func writeSnapshot(path string, p mis.Process, d sched.Daemon) error {
+	c, err := p.(checkpointable).Checkpoint()
+	if err != nil {
+		return err
+	}
+	if d != nil {
+		c.DaemonName = d.Name()
+		if st, ok := d.(sched.Stateful); ok {
+			if c.DaemonState, err = st.MarshalState(); err != nil {
+				return err
+			}
+		}
+	}
+	return snapshot.WriteFile(path, snapshot.KindProcess, c)
+}
+
 // runDaemon executes one process under a daemon schedule and reports
-// steps/moves to stabilization.
-func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed uint64, maxSteps int) int {
+// steps/moves to stabilization. A non-nil cp resumes a snapshotted daemon
+// run — the scheduler stream, the step/move accounting, and a stateful
+// daemon's schedule history all continue exactly; ckptPath/ckptEvery
+// mirror the single-run snapshot flags with steps in place of rounds.
+func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed uint64, maxSteps int, cp *mis.Checkpoint, ckptPath string, ckptEvery int) int {
 	d, err := sched.DaemonByName(daemonName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misrun:", err)
 		return 2
 	}
 	var p mis.DaemonRunner
-	switch procKind {
-	case "2state":
-		p = mis.NewTwoState(g, mis.WithSeed(seed), mis.WithInit(init))
-	case "3state":
-		p = mis.NewThreeState(g, mis.WithSeed(seed), mis.WithInit(init))
-	default:
-		fmt.Fprintf(os.Stderr, "misrun: process %q does not support daemon scheduling (2state|3state)\n", procKind)
-		return 2
+	if cp != nil {
+		// Both directions of the mixed-semantics guard: a synchronous-run
+		// snapshot must not be continued with daemon steps, and a daemon
+		// snapshot must continue under the same daemon.
+		if cp.DaemonName == "" {
+			fmt.Fprintln(os.Stderr, "misrun: snapshot is a synchronous-round run; resume it without -daemon")
+			return 2
+		}
+		if cp.DaemonName != d.Name() {
+			fmt.Fprintf(os.Stderr, "misrun: snapshot was taken under the %s daemon, -daemon selects %s\n",
+				cp.DaemonName, d.Name())
+			return 2
+		}
+		proc, err := restoreProcess(g, cp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", err)
+			return 1
+		}
+		var ok bool
+		if p, ok = proc.(mis.DaemonRunner); !ok {
+			fmt.Fprintf(os.Stderr, "misrun: process %s does not support daemon scheduling\n", proc.Name())
+			return 2
+		}
+		if cp.DaemonState != nil {
+			st, ok := d.(sched.Stateful)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "misrun: snapshot carries schedule state but daemon %s is stateless\n", d.Name())
+				return 2
+			}
+			if err := st.UnmarshalState(cp.DaemonState); err != nil {
+				fmt.Fprintln(os.Stderr, "misrun:", err)
+				return 1
+			}
+		}
+		fmt.Printf("process %s under %s daemon, resumed at step %d on n=%d m=%d\n",
+			p.Name(), d.Name(), p.Steps(), g.N(), g.M())
+	} else {
+		switch procKind {
+		case "2state":
+			p = mis.NewTwoState(g, mis.WithSeed(seed), mis.WithInit(init))
+		case "3state":
+			p = mis.NewThreeState(g, mis.WithSeed(seed), mis.WithInit(init))
+		default:
+			fmt.Fprintf(os.Stderr, "misrun: process %q does not support daemon scheduling (2state|3state)\n", procKind)
+			return 2
+		}
+		fmt.Printf("process %s under %s daemon, init %s, seed %d on n=%d m=%d\n",
+			p.Name(), d.Name(), init, seed, g.N(), g.M())
 	}
-	fmt.Printf("process %s under %s daemon, init %s, seed %d on n=%d m=%d\n",
-		p.Name(), d.Name(), init, seed, g.N(), g.M())
-	steps, ok := p.DaemonRun(d, maxSteps)
+	if maxSteps <= 0 {
+		maxSteps = mis.DefaultDaemonStepCap(g.N())
+	}
+	// The cap is absolute (total steps including the resumed prefix), so an
+	// interrupted-and-resumed run stops exactly where the uninterrupted one
+	// would — the single-run path's round limit behaves the same way.
+	for p.Steps() < maxSteps && !p.Stabilized() {
+		if !p.DaemonStep(d) {
+			break
+		}
+		if ckptPath != "" && ckptEvery > 0 && p.Steps()%ckptEvery == 0 {
+			if err := writeSnapshot(ckptPath, p, d); err != nil {
+				fmt.Fprintln(os.Stderr, "misrun:", err)
+				return 1
+			}
+		}
+	}
+	if ckptPath != "" {
+		if err := writeSnapshot(ckptPath, p, d); err != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", err)
+			return 1
+		}
+	}
+	steps, ok := p.Steps(), p.Stabilized()
 	if !ok {
 		fmt.Printf("did NOT stabilize within %d daemon steps\n", steps)
 		return 1

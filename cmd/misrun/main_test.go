@@ -88,14 +88,14 @@ func TestRunDaemonSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, proc := range []string{"2state", "3state"} {
-		if rc := runDaemon(g, proc, "central-random", mis.InitRandom, 1, 0); rc != 0 {
+		if rc := runDaemon(g, proc, "central-random", mis.InitRandom, 1, 0, nil, "", 0); rc != 0 {
 			t.Fatalf("%s under central-random returned %d", proc, rc)
 		}
 	}
-	if rc := runDaemon(g, "3color", "central-random", mis.InitRandom, 1, 0); rc != 2 {
+	if rc := runDaemon(g, "3color", "central-random", mis.InitRandom, 1, 0, nil, "", 0); rc != 2 {
 		t.Fatalf("3color daemon run returned %d, want 2", rc)
 	}
-	if rc := runDaemon(g, "2state", "bogus", mis.InitRandom, 1, 0); rc != 2 {
+	if rc := runDaemon(g, "2state", "bogus", mis.InitRandom, 1, 0, nil, "", 0); rc != 2 {
 		t.Fatalf("bogus daemon returned %d, want 2", rc)
 	}
 }

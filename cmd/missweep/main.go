@@ -9,11 +9,28 @@
 //	missweep -list
 //	missweep -run E9 -csv              # machine-readable output
 //
+//	missweep -run all -checkpoint sweep.ckpt                 # checkpoint the whole grid
+//	missweep -run all -checkpoint sweep.ckpt -resume         # continue a killed sweep
+//	missweep -run all -checkpoint sweep.ckpt -checkpoint-every 5s
+//
 // All selected experiments submit their (graph, seed) jobs to ONE shared
 // work-stealing pool (internal/batch) and run concurrently — a straggler
 // cell in E7 no longer serializes the sweep, because E8's jobs fill the
 // idle workers. Output order and table contents are independent of -workers
 // (outcomes aggregate in trial order).
+//
+// Sweep checkpointing (-checkpoint) serializes the WHOLE grid to one
+// versioned snapshot file at a configurable interval (-checkpoint-every,
+// default 10s): completed experiments' rendered tables plus the in-order
+// outcome journals of every in-flight measurement cell, written atomically
+// (stage + rename) under a scheduler quiesce. A sweep killed mid-grid and
+// restarted with -resume skips everything the checkpoint recorded — it
+// replays journaled outcomes through the scheduler's reorder buffer rather
+// than re-running them — and, because every trial is a pure function of
+// (graph, seed), produces byte-identical tables to an uninterrupted run at
+// any -workers value. -resume validates that the checkpoint matches the
+// invocation (same -scale, -seed, and -run selection; intact envelope,
+// same format version) and refuses to resume otherwise.
 //
 // Experiment ids and claims are listed by -list and indexed in DESIGN.md §3;
 // the full-scale outputs are recorded in EXPERIMENTS.md.
@@ -30,6 +47,7 @@ import (
 
 	"ssmis/internal/batch"
 	"ssmis/internal/experiment"
+	"ssmis/internal/snapshot"
 )
 
 func main() {
@@ -47,6 +65,9 @@ func run() int {
 		workers = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS); all experiments share one pool")
 		chunk   = flag.Int("batch", 0, "seeds per scheduler chunk (0 = auto); smaller chunks steal more")
 		times   = flag.Bool("times", false, "report the slowest per-cell wall times for each experiment")
+		ckpt    = flag.String("checkpoint", "", "checkpoint the whole sweep to this file (atomic write-rename)")
+		every   = flag.Duration("checkpoint-every", 10*time.Second, "interval between sweep checkpoints")
+		resume  = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -86,6 +107,72 @@ func run() int {
 	pool := batch.NewPool(*workers)
 	defer pool.Close()
 
+	// Sweep checkpointing: create or load the one-file-per-grid snapshot
+	// and save it periodically under a pool quiesce (a consistent cut: no
+	// outcome is in flight while the journals serialize).
+	var sweep *experiment.SweepCheckpoint
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "missweep: -resume requires -checkpoint <file>")
+		return 2
+	}
+	if *ckpt != "" && *every <= 0 {
+		fmt.Fprintln(os.Stderr, "missweep: -checkpoint-every must be a positive duration")
+		return 2
+	}
+	if *ckpt != "" {
+		ids := make([]string, len(selected))
+		for i, e := range selected {
+			ids[i] = e.ID
+		}
+		if *resume {
+			var err error
+			sweep, err = experiment.LoadSweepCheckpoint(*ckpt, *scale, *seed, ids)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "missweep: %v\n", err)
+				return 1
+			}
+		} else {
+			sweep = experiment.NewSweepCheckpoint(*scale, *seed, ids)
+		}
+		// The quiesce covers only the in-memory cut; the disk I/O (stage,
+		// fsync, rename) happens with the pool already running again.
+		save := func() {
+			pool.Quiesce()
+			data, err := sweep.Encode()
+			pool.Resume()
+			if err == nil {
+				err = snapshot.WriteEncoded(*ckpt, data)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "missweep: checkpoint: %v\n", err)
+			}
+		}
+		stop := make(chan struct{})
+		ticking := make(chan struct{})
+		go func() {
+			defer close(ticking)
+			t := time.NewTicker(*every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					save()
+				case <-stop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-ticking
+			// Final save: the finished sweep's checkpoint holds every table,
+			// so a later -resume replays the grid without running a job.
+			if err := sweep.Save(*ckpt); err != nil {
+				fmt.Fprintf(os.Stderr, "missweep: checkpoint: %v\n", err)
+			}
+		}()
+	}
+
 	type outcome struct {
 		tables  []experiment.Table
 		cells   *experiment.CellLog
@@ -102,12 +189,27 @@ func run() int {
 	for i, e := range selected {
 		results[i] = make(chan outcome, 1)
 		go func(e experiment.Experiment, out chan<- outcome) {
+			cells := &experiment.CellLog{}
+			// Experiments the checkpoint already completed replay their
+			// stored tables without occupying a concurrency slot or
+			// submitting a single job.
+			if sweep != nil {
+				if tables, ok := sweep.Completed(e.ID); ok {
+					out <- outcome{tables: tables, cells: cells}
+					return
+				}
+			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cells := &experiment.CellLog{}
 			cfg := experiment.Config{Scale: *scale, Seed: *seed, Pool: pool, Cells: cells, Chunk: *chunk}
+			if sweep != nil {
+				cfg.Checkpoint = sweep.Experiment(e.ID)
+			}
 			start := time.Now()
 			tables := e.Run(cfg)
+			if sweep != nil {
+				sweep.MarkDone(e.ID, tables)
+			}
 			out <- outcome{tables: tables, cells: cells, elapsed: time.Since(start)}
 		}(e, results[i])
 	}

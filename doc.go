@@ -102,6 +102,50 @@
 // failed runs. BENCH_batch.json records the scheduler against the old
 // per-cell pools.
 //
+// # Checkpoint and resume
+//
+// Every layer serializes durable execution state through ONE versioned
+// snapshot codec (internal/snapshot). The envelope is self-describing —
+// magic, format version (currently 1), payload kind, JSON payload, CRC-32
+// over the whole record — and every file is written atomically (staged in
+// a temporary file, renamed into place), so a process killed mid-write
+// leaves the previous intact checkpoint behind and a reader never sees a
+// torn file. Decoding validates everything before trusting anything:
+// foreign files, truncation, bit corruption, version skew, and payload-kind
+// confusion are all rejected loudly (typed errors; fuzzed by cmd/misfuzz)
+// instead of resuming silently wrong.
+//
+// What each layer captures:
+//
+//	process (kind "process")  one execution: state vector, per-vertex RNG
+//	                          streams, round/bit accounting, the engine's
+//	                          first-cover stamps (so the local-times
+//	                          instrument survives a resume), the 3-color
+//	                          switch levels and bit accounting, the daemon
+//	                          scheduler stream with step/move accounting,
+//	                          and a stateful daemon's schedule history
+//	                          (round-robin cursor, k-fair starvation
+//	                          counters). Checkpoint/Restore* and the misrun
+//	                          -checkpoint/-checkpoint-every/-resume flags.
+//	sweep (kind "sweep")      a whole missweep grid in one file: finished
+//	                          experiments' rendered tables plus the
+//	                          in-order outcome journal of every in-flight
+//	                          measurement cell, saved periodically under a
+//	                          scheduler quiesce (batch.Pool.Quiesce drains
+//	                          in-flight chunks so the cut is consistent).
+//	                          missweep -checkpoint/-checkpoint-every/-resume.
+//
+// Resume guarantees: a restored process draws exactly the coins the
+// uninterrupted run would have drawn (same rounds, same bits, same daemon
+// selections), and a sweep killed mid-grid and resumed replays journaled
+// outcomes through the scheduler's reorder buffer — completed jobs never
+// re-run — producing byte-identical experiment tables at any worker count.
+// Cells whose outcomes carry workload-specific in-memory payloads re-run
+// on resume (purity makes that identical); completed experiments never
+// re-run at all. The graph is not embedded in process snapshots: restore
+// takes the graph (reconstructible from its own seed or interchange file)
+// and verifies its order.
+//
 // Because every vertex draws coins from its own stream split off the master
 // seed, an execution is a pure function of (graph, seed, initializer) — and
 // the engine, its parallel path, its batch-scheduled runs, the

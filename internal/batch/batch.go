@@ -27,6 +27,7 @@
 package batch
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -84,6 +85,19 @@ type SubmitOptions struct {
 	// can make progress only by stealing — the forced-steal schedule the
 	// determinism tests exercise.
 	PinFirst bool
+	// Replay is a recorded prefix of the batch's outcomes (job indices
+	// 0..len-1, in order), the resume half of sweep checkpointing: the
+	// replayed outcomes are delivered to the sink synchronously at submit
+	// time — before any live outcome — and their jobs are never scheduled.
+	// Scheduling starts at job index len(Replay). Every run is a pure
+	// function of (graph, seed), so a sink fed a recorded prefix plus live
+	// remainder aggregates exactly what an uninterrupted batch would have
+	// fed it. Submit panics when the prefix is longer than the batch.
+	Replay []Outcome
+	// Record, when non-nil, observes every delivery in order (replayed and
+	// live), after the sink, under the batch lock — the journal half of
+	// sweep checkpointing. Like the sink it must be fast and may not block.
+	Record func(Outcome)
 }
 
 // chunk is a contiguous seed range [lo, hi) of one shard.
@@ -169,12 +183,14 @@ func (w *worker) steal() (chunk, bool) {
 type Pool struct {
 	workers []*worker
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	gen    uint64 // bumped on every Submit, so sleeping workers re-scan
-	next   int    // round-robin placement cursor
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     uint64 // bumped on every Submit, so sleeping workers re-scan
+	next    int    // round-robin placement cursor
+	closed  bool
+	paused  bool // Quiesce: workers park instead of starting chunks
+	running int  // workers currently executing a chunk
+	wg      sync.WaitGroup
 
 	steals uint64 // successful steals (scheduler introspection / tests)
 }
@@ -209,13 +225,60 @@ func (p *Pool) Steals() uint64 {
 
 // Close drains every queued chunk, stops the workers, and waits for them to
 // exit. Submitting after Close panics; batches submitted before Close
-// complete normally.
+// complete normally. Closing a quiesced pool resumes execution (the drain
+// guarantee wins over the pause).
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+}
+
+// Quiesce pauses the pool at a run boundary: no worker starts another
+// chunk, and Quiesce returns once every in-flight chunk has finished —
+// from then until Resume, no outcome is delivered and every batch's
+// journal is frozen, which is the consistent cut the sweep checkpointer
+// serializes. Queued chunks stay queued (workers that claimed one park
+// holding it untouched). Quiesce on an idle or already-quiesced pool
+// returns immediately; Submit during a pause only queues work.
+func (p *Pool) Quiesce() {
+	p.mu.Lock()
+	p.paused = true
+	for p.running > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Resume reawakens a quiesced pool.
+func (p *Pool) Resume() {
+	p.mu.Lock()
+	p.paused = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// admit marks the calling worker as running one chunk, parking first while
+// the pool is quiesced (the claimed chunk waits, untouched, for Resume).
+func (p *Pool) admit() {
+	p.mu.Lock()
+	for p.paused && !p.closed {
+		p.cond.Wait()
+	}
+	p.running++
+	p.mu.Unlock()
+}
+
+// release is admit's counterpart after the chunk completes; it wakes a
+// Quiesce waiting for the pool to fall idle.
+func (p *Pool) release() {
+	p.mu.Lock()
+	p.running--
+	if p.running == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // Submit enqueues shards as one batch with default scheduling. Each
@@ -233,14 +296,25 @@ func (p *Pool) SubmitOpts(shards []Shard, opt SubmitOptions, sink func(Outcome))
 	for _, sh := range shards {
 		total += len(sh.Seeds)
 	}
-	b := &Batch{sink: sink, total: total, pending: make(map[int]Outcome), done: make(chan struct{})}
-	if total == 0 {
+	skip := len(opt.Replay)
+	if skip > total {
+		panic(fmt.Sprintf("batch: replay prefix of %d outcomes for a batch of %d jobs", skip, total))
+	}
+	b := &Batch{sink: sink, record: opt.Record, total: total, pending: make(map[int]Outcome), done: make(chan struct{})}
+	// Replay the recorded prefix before publishing the batch: the sink sees
+	// indices 0..skip-1 from the journal, then live outcomes from skip on.
+	for i, o := range opt.Replay {
+		o.Index = i
+		b.emit(o)
+	}
+	if total == skip {
 		p.mu.Lock()
 		closed := p.closed
 		p.mu.Unlock()
 		if closed {
 			panic("batch: Submit on a closed pool")
 		}
+		b.completed = true
 		close(b.done)
 		return b
 	}
@@ -252,14 +326,24 @@ func (p *Pool) SubmitOpts(shards []Shard, opt SubmitOptions, sink func(Outcome))
 		}
 		st := &shardState{Shard: sh, b: b, base: base}
 		base += len(sh.Seeds)
+		// Seeds whose outcomes were replayed are not scheduled again; the
+		// auto chunk size spreads the LIVE remainder across the pool, so a
+		// mostly-journaled resumed shard doesn't serialize its tail.
+		start := 0
+		if skip > st.base {
+			start = skip - st.base
+			if start > len(st.Seeds) {
+				start = len(st.Seeds)
+			}
+		}
 		cs := opt.ChunkSize
 		if cs <= 0 {
-			cs = (len(sh.Seeds) + 2*len(p.workers) - 1) / (2 * len(p.workers))
+			cs = (len(sh.Seeds) - start + 2*len(p.workers) - 1) / (2 * len(p.workers))
 			if cs < 1 {
 				cs = 1
 			}
 		}
-		for lo := 0; lo < len(st.Seeds); lo += cs {
+		for lo := start; lo < len(st.Seeds); lo += cs {
 			hi := lo + cs
 			if hi > len(st.Seeds) {
 				hi = len(st.Seeds)
@@ -301,20 +385,26 @@ func (p *Pool) workerLoop(w *worker) {
 			o.Seed = c.shard.Seeds[i]
 			c.shard.b.deliver(o)
 		}
+		p.release()
 	}
 }
 
-// take returns the next chunk for w: own deque first, then a steal sweep
-// over the other workers, then sleep until a Submit bumps the generation.
-// It returns false only when the pool is closed and a full sweep found
-// nothing — every chunk queued before Close is guaranteed to run, because a
-// non-empty deque keeps its owner awake.
+// take returns the next chunk for w — own deque first, then a steal sweep
+// over the other workers, then sleep until a Submit bumps the generation —
+// and admits it past the quiesce gate (the returned chunk is counted in
+// running). It returns false only when the pool is closed and a full sweep
+// found nothing — every chunk queued before Close is guaranteed to run,
+// because a non-empty deque keeps its owner awake.
 func (p *Pool) take(w *worker) (chunk, bool) {
 	for {
 		p.mu.Lock()
+		for p.paused && !p.closed {
+			p.cond.Wait()
+		}
 		gen, closed := p.gen, p.closed
 		p.mu.Unlock()
 		if c, ok := w.pop(); ok {
+			p.admit()
 			return c, true
 		}
 		for off := 1; off < len(p.workers); off++ {
@@ -323,6 +413,7 @@ func (p *Pool) take(w *worker) (chunk, bool) {
 				p.mu.Lock()
 				p.steals++
 				p.mu.Unlock()
+				p.admit()
 				return c, true
 			}
 		}
@@ -330,7 +421,7 @@ func (p *Pool) take(w *worker) (chunk, bool) {
 			return chunk{}, false
 		}
 		p.mu.Lock()
-		for p.gen == gen && !p.closed {
+		for p.gen == gen && !p.closed && !p.paused {
 			p.cond.Wait()
 		}
 		p.mu.Unlock()
@@ -342,6 +433,7 @@ func (p *Pool) take(w *worker) (chunk, bool) {
 type Batch struct {
 	mu        sync.Mutex
 	sink      func(Outcome)
+	record    func(Outcome) // checkpoint journal; observes every emit
 	pending   map[int]Outcome
 	cursor    int
 	total     int
@@ -380,6 +472,9 @@ func (b *Batch) deliver(o Outcome) {
 func (b *Batch) emit(o Outcome) {
 	if b.sink != nil {
 		b.sink(o)
+	}
+	if b.record != nil {
+		b.record(o)
 	}
 	b.cursor++
 }

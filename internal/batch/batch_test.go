@@ -176,3 +176,156 @@ func TestEmptyBatchAndClose(t *testing.T) {
 	}()
 	p.Submit(nil, nil)
 }
+
+// A batch resumed from a recorded outcome prefix must feed its sink the
+// exact sequence an uninterrupted batch feeds it — replayed jobs are never
+// re-run, live jobs start where the journal ends — at any worker count and
+// for any cut point, including mid-shard and whole-batch prefixes.
+func TestReplayPrefixMatchesUninterrupted(t *testing.T) {
+	const seeds = 4 // 12 jobs across the three shards
+	ref, refSum, _ := collect(t, 1, SubmitOptions{}, seeds)
+	for _, cut := range []int{0, 1, 5, 7, len(ref) - 1, len(ref)} {
+		for _, workers := range []int{1, 8} {
+			p := NewPool(workers)
+			var scheduled int64
+			shards := misShards(seeds)
+			for i := range shards {
+				inner := shards[i].Run
+				shards[i].Run = func(rc *engine.RunContext, g *graph.Graph, j int, seed uint64) Outcome {
+					atomic.AddInt64(&scheduled, 1)
+					return inner(rc, g, j, seed)
+				}
+			}
+			var log []Outcome
+			rounds := stats.NewQuantileStream()
+			p.SubmitOpts(shards, SubmitOptions{Replay: ref[:cut]}, func(o Outcome) {
+				log = append(log, o)
+				if !o.Failed && !o.Broken {
+					rounds.Add(float64(o.Rounds))
+				}
+			}).Wait()
+			p.Close()
+			if got := int(atomic.LoadInt64(&scheduled)); got != len(ref)-cut {
+				t.Fatalf("cut %d workers %d: ran %d jobs, want %d", cut, workers, got, len(ref)-cut)
+			}
+			if len(log) != len(ref) {
+				t.Fatalf("cut %d workers %d: %d outcomes, want %d", cut, workers, len(log), len(ref))
+			}
+			for i := range ref {
+				if log[i] != ref[i] {
+					t.Fatalf("cut %d workers %d: outcome %d = %+v, want %+v", cut, workers, i, log[i], ref[i])
+				}
+			}
+			if rounds.Summary() != refSum {
+				t.Fatalf("cut %d workers %d: summary diverged", cut, workers)
+			}
+		}
+	}
+}
+
+// Record must observe every delivery in order — replayed and live alike —
+// so a journal written by Record is itself a valid Replay prefix.
+func TestRecordJournalsEveryDelivery(t *testing.T) {
+	const seeds = 3
+	ref, _, _ := collect(t, 2, SubmitOptions{}, seeds)
+	cut := len(ref) / 2
+	p := NewPool(4)
+	defer p.Close()
+	var journal []Outcome
+	p.SubmitOpts(misShards(seeds), SubmitOptions{
+		Replay: ref[:cut],
+		Record: func(o Outcome) { journal = append(journal, o) },
+	}, nil).Wait()
+	if len(journal) != len(ref) {
+		t.Fatalf("journal has %d entries, want %d", len(journal), len(ref))
+	}
+	for i := range ref {
+		if journal[i] != ref[i] {
+			t.Fatalf("journal entry %d = %+v, want %+v", i, journal[i], ref[i])
+		}
+	}
+}
+
+// Replay prefixes longer than the batch are a caller bug and must panic.
+func TestReplayPrefixTooLongPanics(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized replay prefix did not panic")
+		}
+	}()
+	p.SubmitOpts([]Shard{{Seeds: make([]uint64, 1), Run: func(*engine.RunContext, *graph.Graph, int, uint64) Outcome {
+		return Outcome{}
+	}}}, SubmitOptions{Replay: make([]Outcome, 2)}, nil)
+}
+
+// Quiesce must return only once no chunk is executing, freeze all delivery
+// until Resume, and leave queued work intact: the batch then completes with
+// the full in-order outcome sequence.
+func TestQuiesceFreezesDelivery(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var delivered int64
+	release := make(chan struct{})
+	started := make(chan struct{}, 256)
+	sh := Shard{
+		Seeds: make([]uint64, 64),
+		Run: func(_ *engine.RunContext, _ *graph.Graph, i int, _ uint64) Outcome {
+			started <- struct{}{}
+			if i == 0 {
+				<-release // hold the first chunk in flight while we quiesce
+			}
+			return Outcome{Rounds: i}
+		},
+	}
+	b := p.SubmitOpts([]Shard{sh}, SubmitOptions{ChunkSize: 1}, func(o Outcome) {
+		atomic.AddInt64(&delivered, 1)
+	})
+	<-started // job 0 is in flight
+	done := make(chan struct{})
+	go func() { p.Quiesce(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Quiesce returned while a job was still in flight")
+	default:
+	}
+	close(release)
+	<-done
+	frozen := atomic.LoadInt64(&delivered)
+	// No deliveries while quiesced (the consistent cut the checkpointer
+	// serializes under).
+	for i := 0; i < 50; i++ {
+		if got := atomic.LoadInt64(&delivered); got != frozen {
+			t.Fatalf("delivery advanced from %d to %d during quiesce", frozen, got)
+		}
+	}
+	p.Resume()
+	b.Wait()
+	if got := atomic.LoadInt64(&delivered); got != 64 {
+		t.Fatalf("delivered %d outcomes after resume, want 64", got)
+	}
+}
+
+// Quiesce on an idle pool is a no-op, and repeated Quiesce/Resume cycles
+// across batches keep the pool fully functional.
+func TestQuiesceIdleAndRepeated(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Quiesce()
+	p.Quiesce() // idempotent
+	p.Resume()
+	for round := 0; round < 3; round++ {
+		count := 0
+		sh := Shard{Seeds: make([]uint64, 16), Run: func(_ *engine.RunContext, _ *graph.Graph, i int, _ uint64) Outcome {
+			return Outcome{Rounds: i}
+		}}
+		b := p.SubmitOpts([]Shard{sh}, SubmitOptions{ChunkSize: 4}, func(Outcome) { count++ })
+		b.Wait()
+		if count != 16 {
+			t.Fatalf("round %d delivered %d", round, count)
+		}
+		p.Quiesce()
+		p.Resume()
+	}
+}

@@ -234,6 +234,34 @@ func (e *Core) SetAccounting(round int, bits int64) {
 	}
 }
 
+// SetCoverageStamps overwrites the per-vertex first-cover stamps with a
+// checkpointed vector (snapshot restore), preserving the local-times
+// instrument across a resume. The stamp support must equal the coverage the
+// engine derives from the restored state — I_t is monotone under every
+// rule's dynamics, so a live core's stamps always satisfy this; a vector
+// that marks a covered vertex uncovered (which would wedge the monotone
+// tracking) or vice versa is a damaged checkpoint and reported as an error.
+func (e *Core) SetCoverageStamps(stamps []int32) error {
+	if len(stamps) != e.g.N() {
+		return fmt.Errorf("engine: %d coverage stamps for graph order %d", len(stamps), e.g.N())
+	}
+	cnt := 0
+	for v, r := range stamps {
+		if (r >= 0) != (e.coveredAt[v] >= 0) {
+			return fmt.Errorf("engine: restored coverage stamp of vertex %d (%d) disagrees with the restored configuration", v, r)
+		}
+		if r > int32(e.round) {
+			return fmt.Errorf("engine: coverage stamp of vertex %d (%d) is later than the restored round %d", v, r, e.round)
+		}
+		if r >= 0 {
+			cnt++
+		}
+	}
+	copy(e.coveredAt, stamps)
+	e.coveredCnt = cnt
+	return nil
+}
+
 // State returns the current state of vertex u.
 func (e *Core) State(u int) uint8 { return e.state[u] }
 

@@ -37,6 +37,10 @@ type RunContext struct {
 	mask  []bool
 	rands []xrand.Rand
 	rngs  []*xrand.Rand
+
+	// clockA/clockB back a rule's phase-clock level arrays (the 3-color
+	// switch), leased through ClockBufs.
+	clockA, clockB []uint8
 }
 
 // NewRunContext returns an empty context; buffers grow on first lease and
@@ -70,15 +74,30 @@ func growInts(buf []int, n int) []int {
 // Uint8Buf leases the context's per-vertex state buffer, zeroed, length n.
 // Process constructors use it for the initial state vector they hand to New.
 func (c *RunContext) Uint8Buf(n int) []uint8 {
-	if cap(c.state) < n {
-		c.state = make([]uint8, n)
-	} else {
-		c.state = c.state[:n]
-		for i := range c.state {
-			c.state[i] = 0
-		}
-	}
+	c.state = growU8(c.state, n)
 	return c.state
+}
+
+// growU8 reshapes buf to length n, zeroed, reusing capacity when possible.
+func growU8(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// ClockBufs leases the context's phase-clock level arrays (current and
+// next), zeroed, length n — the 3-color process hands them to its switch
+// via phaseclock.WithBuffers, closing that rule's last per-run O(n)
+// allocation.
+func (c *RunContext) ClockBufs(n int) (levels, next []uint8) {
+	c.clockA = growU8(c.clockA, n)
+	c.clockB = growU8(c.clockB, n)
+	return c.clockA, c.clockB
 }
 
 // BoolBuf leases the context's per-vertex mask buffer, zeroed, length n

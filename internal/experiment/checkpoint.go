@@ -1,0 +1,224 @@
+package experiment
+
+// Sweep checkpointing: ONE snapshot file for a whole missweep grid. The
+// sweep checkpoint records, per experiment, either the finished rendered
+// tables or — for experiments still in flight — the in-order outcome
+// journal of every measurement cell delivered so far. Resuming replays the
+// journals through the scheduler's reorder buffer (batch.SubmitOptions
+// Replay/Record): recorded jobs are never re-run, live jobs start where
+// the journal ends, and because every run is a pure function of
+// (graph, seed) the resumed sweep's tables are byte-identical to an
+// uninterrupted run at any worker count.
+//
+// Granularity. Stabilization-measurement cells (runTrials — the bulk of
+// the grid's job volume) resume mid-cell at outcome granularity; their
+// outcomes are plain (rounds, bits, failed, broken) and serialize
+// directly. Cells with workload-specific payloads (runJobs/runJobsOver:
+// runtime replays, churn chains, daemon schedules, ...) re-run when their
+// experiment was interrupted mid-flight — their payloads are arbitrary
+// in-memory values, and purity makes re-running them produce identical
+// results — while completed experiments never re-run at all.
+//
+// The on-disk format is the module-wide versioned snapshot envelope
+// (internal/snapshot, kind "sweep"): damaged or version-skewed checkpoint
+// files are rejected loudly, and writes are atomic (stage + rename), so a
+// sweep killed mid-write leaves the previous intact checkpoint behind.
+
+import (
+	"fmt"
+	"sync"
+
+	"ssmis/internal/batch"
+	"ssmis/internal/snapshot"
+)
+
+// SweepCheckpoint is the live, concurrency-safe checkpoint state of one
+// sweep invocation. Experiments append to it through the per-experiment
+// handles Config carries; the driver saves it periodically (under a pool
+// quiesce, so the serialized cut is consistent) and marks experiments done
+// as their tables render.
+type SweepCheckpoint struct {
+	mu    sync.Mutex
+	state sweepState
+}
+
+// sweepState is the serialized sweep payload.
+type sweepState struct {
+	// Scale, Seed, and Experiments identify the invocation; Load rejects a
+	// checkpoint taken under different sweep parameters (resuming it would
+	// silently compute different numbers).
+	Scale       float64  `json:"scale"`
+	Seed        uint64   `json:"seed"`
+	Experiments []string `json:"experiments"`
+	// Done holds the rendered tables of completed experiments.
+	Done map[string][]Table `json:"done,omitempty"`
+	// Cells holds the outcome journals of in-flight measurement cells,
+	// keyed by experiment id and submission sequence number.
+	Cells map[string]*cellJournal `json:"cells,omitempty"`
+}
+
+// cellJournal is the delivered-outcome prefix of one measurement cell.
+type cellJournal struct {
+	// Label echoes the cell's label; resume cross-checks it so a checkpoint
+	// from different code or configuration fails loudly instead of feeding
+	// the wrong journal to a cell.
+	Label string `json:"label"`
+	// Total is the cell's job count.
+	Total int `json:"total"`
+	// Outcomes is the in-order delivered prefix.
+	Outcomes []cellOutcome `json:"outcomes"`
+}
+
+// cellOutcome is one journaled scheduler outcome (the plain measurement
+// fields; Extra-carrying cells are not journaled).
+type cellOutcome struct {
+	Seed   uint64 `json:"seed"`
+	Rounds int    `json:"rounds,omitempty"`
+	Bits   int64  `json:"bits,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	Broken bool   `json:"broken,omitempty"`
+}
+
+// NewSweepCheckpoint starts empty checkpoint state for a sweep over the
+// given experiment ids at the given scale and master seed.
+func NewSweepCheckpoint(scale float64, seed uint64, ids []string) *SweepCheckpoint {
+	return &SweepCheckpoint{state: sweepState{
+		Scale:       scale,
+		Seed:        seed,
+		Experiments: ids,
+		Done:        map[string][]Table{},
+		Cells:       map[string]*cellJournal{},
+	}}
+}
+
+// LoadSweepCheckpoint reads a sweep checkpoint and validates that it
+// belongs to this invocation: same scale, same master seed, same
+// experiment selection. Any mismatch, damage, or version skew is an error.
+func LoadSweepCheckpoint(path string, scale float64, seed uint64, ids []string) (*SweepCheckpoint, error) {
+	var st sweepState
+	if err := snapshot.ReadFile(path, snapshot.KindSweep, &st); err != nil {
+		return nil, err
+	}
+	if st.Scale != scale || st.Seed != seed {
+		return nil, fmt.Errorf("experiment: checkpoint %s was taken at scale=%v seed=%d, this invocation is scale=%v seed=%d",
+			path, st.Scale, st.Seed, scale, seed)
+	}
+	if len(st.Experiments) != len(ids) {
+		return nil, fmt.Errorf("experiment: checkpoint %s covers %d experiments, this invocation selects %d",
+			path, len(st.Experiments), len(ids))
+	}
+	for i, id := range ids {
+		if st.Experiments[i] != id {
+			return nil, fmt.Errorf("experiment: checkpoint %s experiment %d is %s, this invocation selects %s",
+				path, i, st.Experiments[i], id)
+		}
+	}
+	if st.Done == nil {
+		st.Done = map[string][]Table{}
+	}
+	if st.Cells == nil {
+		st.Cells = map[string]*cellJournal{}
+	}
+	return &SweepCheckpoint{state: st}, nil
+}
+
+// Save atomically writes the checkpoint through the snapshot envelope. It
+// may be called at any time; for a cut that is consistent across every
+// in-flight cell, quiesce the scheduler pool around the call (or around
+// Encode alone, keeping the disk I/O outside the pause).
+func (s *SweepCheckpoint) Save(path string) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteEncoded(path, data)
+}
+
+// Encode serializes the checkpoint state into the snapshot envelope — the
+// cheap, in-memory half of Save, so a caller can hold a pool quiesce only
+// for the duration of the cut and write the bytes after resuming.
+func (s *SweepCheckpoint) Encode() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return snapshot.Encode(snapshot.KindSweep, &s.state)
+}
+
+// Completed returns the stored tables of an experiment that finished
+// before the checkpoint was taken.
+func (s *SweepCheckpoint) Completed(id string) ([]Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.state.Done[id]
+	return t, ok
+}
+
+// MarkDone records an experiment's rendered tables and drops its cell
+// journals (the tables subsume them).
+func (s *SweepCheckpoint) MarkDone(id string, tables []Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state.Done[id] = tables
+	prefix := id + "#"
+	for key := range s.state.Cells {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(s.state.Cells, key)
+		}
+	}
+}
+
+// Experiment returns the handle one experiment's cells journal through;
+// the handle is carried to the Run function via Config.Checkpoint.
+func (s *SweepCheckpoint) Experiment(id string) *ExperimentCheckpoint {
+	return &ExperimentCheckpoint{sweep: s, id: id}
+}
+
+// ExperimentCheckpoint scopes the sweep checkpoint to one experiment. Cell
+// keys are the experiment id plus a submission sequence number: cells
+// submit in deterministic order within an experiment's Run (each cell
+// waits before the next submits), so a resumed Run re-derives the same
+// keys and picks its journals back up.
+type ExperimentCheckpoint struct {
+	sweep *SweepCheckpoint
+	id    string
+	mu    sync.Mutex
+	seq   int
+}
+
+// cell opens (or resumes) the journal of the experiment's next measurement
+// cell and returns the scheduler options half of the contract: the replay
+// prefix and the record hook.
+func (e *ExperimentCheckpoint) cell(label string, total int) (replay []batch.Outcome, record func(batch.Outcome)) {
+	e.mu.Lock()
+	key := fmt.Sprintf("%s#%d", e.id, e.seq)
+	e.seq++
+	e.mu.Unlock()
+
+	s := e.sweep
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.state.Cells[key]
+	if j == nil {
+		j = &cellJournal{Label: label, Total: total}
+		s.state.Cells[key] = j
+	} else if j.Label != label || j.Total != total {
+		// The journal disagrees with the cell re-deriving it: the checkpoint
+		// was taken by different code or configuration. Resuming would feed
+		// the wrong outcomes into the wrong aggregates — refuse loudly.
+		panic(fmt.Sprintf("experiment: checkpoint cell %s is %q (%d jobs), this run derives %q (%d jobs) — checkpoint from a different build or configuration",
+			key, j.Label, j.Total, label, total))
+	}
+	replay = make([]batch.Outcome, len(j.Outcomes))
+	for i, o := range j.Outcomes {
+		replay[i] = batch.Outcome{Seed: o.Seed, Rounds: o.Rounds, Bits: o.Bits, Failed: o.Failed, Broken: o.Broken}
+	}
+	record = func(o batch.Outcome) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Idempotent under replay: only the first delivery of each index
+		// extends the journal.
+		if o.Index == len(j.Outcomes) {
+			j.Outcomes = append(j.Outcomes, cellOutcome{Seed: o.Seed, Rounds: o.Rounds, Bits: o.Bits, Failed: o.Failed, Broken: o.Broken})
+		}
+	}
+	return replay, record
+}

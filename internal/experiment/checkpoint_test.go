@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssmis/internal/batch"
+)
+
+// renderAll renders an experiment's tables to one string (the byte-level
+// identity the resume contract promises).
+func renderAll(tables []Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.Render())
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}
+
+// runExperiment executes one experiment on a fresh pool.
+func runExperiment(t *testing.T, id string, workers int, ck *ExperimentCheckpoint) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	pool := batch.NewPool(workers)
+	defer pool.Close()
+	cfg := Config{Scale: 0.05, Seed: 2023, Pool: pool, Checkpoint: ck}
+	return renderAll(e.Run(cfg))
+}
+
+// A sweep resumed from a mid-cell checkpoint must render byte-identical
+// tables to an uninterrupted run, at any worker count. The interrupted
+// state is simulated by journaling a full run, then truncating every cell
+// journal to a prefix (as a kill between checkpoints would leave it) and
+// round-tripping the state through the on-disk snapshot envelope.
+func TestSweepCheckpointResumeByteIdentical(t *testing.T) {
+	const id = "E1"
+	ids := []string{id}
+	ref := runExperiment(t, id, 1, nil)
+
+	// Journal a complete run of the experiment.
+	sweep := NewSweepCheckpoint(0.05, 2023, ids)
+	if got := runExperiment(t, id, 4, sweep.Experiment(id)); got != ref {
+		t.Fatal("journaling changed the tables")
+	}
+
+	// Truncate every cell journal to a strict prefix — the state a SIGKILL
+	// between periodic saves leaves behind — and persist/reload it.
+	sweep.mu.Lock()
+	cut := 0
+	for _, j := range sweep.state.Cells {
+		keep := len(j.Outcomes) / 2
+		cut += len(j.Outcomes) - keep
+		j.Outcomes = j.Outcomes[:keep]
+	}
+	ncells := len(sweep.state.Cells)
+	sweep.mu.Unlock()
+	if ncells == 0 || cut == 0 {
+		t.Fatalf("experiment journaled %d cells, truncated %d outcomes — bad fixture", ncells, cut)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := sweep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		loaded, err := LoadSweepCheckpoint(path, 0.05, 2023, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runExperiment(t, id, workers, loaded.Experiment(id)); got != ref {
+			t.Fatalf("resumed tables at workers=%d differ from uninterrupted run", workers)
+		}
+	}
+}
+
+// A completed experiment's tables replay from the checkpoint verbatim.
+func TestSweepCheckpointMarkDone(t *testing.T) {
+	ids := []string{"E1", "E2"}
+	sweep := NewSweepCheckpoint(1, 7, ids)
+	tables := []Table{{Title: "done", Columns: []string{"a"}, Rows: [][]string{{"1"}}}}
+	sweep.MarkDone("E1", tables)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := sweep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSweepCheckpoint(path, 1, 7, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.Completed("E1")
+	if !ok {
+		t.Fatal("E1 not recorded as done")
+	}
+	if renderAll(got) != renderAll(tables) {
+		t.Fatal("stored tables differ")
+	}
+	if _, ok := loaded.Completed("E2"); ok {
+		t.Fatal("E2 wrongly recorded as done")
+	}
+}
+
+// Resume must refuse checkpoints from a different invocation: other scale,
+// other seed, or another experiment selection.
+func TestSweepCheckpointIdentityValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := NewSweepCheckpoint(0.25, 11, []string{"E1", "E2"}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		scale float64
+		seed  uint64
+		ids   []string
+	}{
+		{0.5, 11, []string{"E1", "E2"}},
+		{0.25, 12, []string{"E1", "E2"}},
+		{0.25, 11, []string{"E1"}},
+		{0.25, 11, []string{"E1", "E3"}},
+	}
+	for i, c := range cases {
+		if _, err := LoadSweepCheckpoint(path, c.scale, c.seed, c.ids); err == nil {
+			t.Errorf("case %d: mismatched checkpoint accepted", i)
+		}
+	}
+	if _, err := LoadSweepCheckpoint(path, 0.25, 11, []string{"E1", "E2"}); err != nil {
+		t.Fatalf("matching identity rejected: %v", err)
+	}
+}

@@ -36,6 +36,10 @@ type Config struct {
 	// Chunk caps how many seeds of one cell a pool worker claims at a time
 	// (the missweep -batch flag); <= 0 lets the scheduler choose.
 	Chunk int
+	// Checkpoint, when non-nil, journals this experiment's measurement
+	// cells into a sweep checkpoint and replays any journaled prefix on
+	// resume (the missweep -checkpoint/-resume flags); see checkpoint.go.
+	Checkpoint *ExperimentCheckpoint
 }
 
 // CellLog accumulates per-cell wall-time measurements; safe for concurrent

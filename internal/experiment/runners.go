@@ -132,6 +132,7 @@ func trialSeeds(masterSeed uint64, trials int) []uint64 {
 // from its own seed and outcomes aggregate in trial order.
 func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *measurement {
 	start := time.Now()
+	label := fmt.Sprintf("%v trials=%d seed=%d", kind, trials, masterSeed)
 	sh := batch.Shard{
 		Seeds: trialSeeds(masterSeed, trials),
 		Run: func(rc *engine.RunContext, g *graph.Graph, _ int, seed uint64) batch.Outcome {
@@ -158,8 +159,15 @@ func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, ma
 		sh.Build = func() *graph.Graph { return g }
 	}
 	m := newMeasurement(trials)
-	cfg.pool().SubmitOpts([]batch.Shard{sh}, batch.SubmitOptions{ChunkSize: cfg.Chunk}, m.add).Wait()
-	cfg.logCell(fmt.Sprintf("%v trials=%d seed=%d", kind, trials, masterSeed), trials, time.Since(start))
+	// With a sweep checkpoint attached, the cell's journaled prefix replays
+	// through the reorder buffer instead of re-running, and new in-order
+	// deliveries extend the journal (checkpoint.go).
+	opt := batch.SubmitOptions{ChunkSize: cfg.Chunk}
+	if cfg.Checkpoint != nil {
+		opt.Replay, opt.Record = cfg.Checkpoint.cell(label, trials)
+	}
+	cfg.pool().SubmitOpts([]batch.Shard{sh}, opt, m.add).Wait()
+	cfg.logCell(label, trials, time.Since(start))
 	return m
 }
 

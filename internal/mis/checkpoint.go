@@ -1,27 +1,34 @@
 package mis
 
-// Checkpointing: a running process can be serialized to a JSON-friendly
-// snapshot and restored later to continue the exact same execution —
-// states, derived counters, round/bit accounting, and every per-vertex
-// random stream (so the coins after restore equal the coins an
-// uninterrupted run would have drawn). Long sweeps can thus survive
-// restarts, and executions can be shipped between machines for debugging.
+// Checkpointing: a running process can be serialized to a versioned
+// snapshot (internal/snapshot) and restored later to continue the exact
+// same execution — states, derived counters, round/bit accounting, the
+// per-vertex first-cover stamps (local times), and every per-vertex random
+// stream (so the coins after restore equal the coins an uninterrupted run
+// would have drawn). Long sweeps can thus survive restarts, and executions
+// can be shipped between machines for debugging.
 //
-// The graph itself is not embedded (graphs can be large and are
-// reconstructible from their own seeds or interchange files); Restore
-// functions take the graph and verify its order. The on-disk format
-// predates the shared engine and is kept unchanged: 2-state states are
-// stored as 0 = white / 1 = black.
+// The wire format is the snapshot envelope (magic, format version,
+// checksum): truncated, corrupted, or version-skewed checkpoints are
+// rejected loudly instead of resuming silently wrong. The graph itself is
+// not embedded (graphs can be large and are reconstructible from their own
+// seeds or interchange files); Restore functions take the graph and verify
+// its order. 2-state states are stored as 0 = white / 1 = black.
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/phaseclock"
+	"ssmis/internal/snapshot"
 	"ssmis/internal/xrand"
 )
+
+// Checkpoint is a serialized process execution state — the process payload
+// of the module-wide snapshot layer. Encode wraps it in the versioned
+// envelope; DecodeCheckpoint validates and unwraps.
+type Checkpoint = snapshot.Process
 
 // newRestoredClock rebuilds the 3-color switch from checkpointed levels.
 func newRestoredClock(g *graph.Graph, c *Checkpoint) *phaseclock.Clock {
@@ -33,75 +40,14 @@ func newRestoredClock(g *graph.Graph, c *Checkpoint) *phaseclock.Clock {
 	return cl
 }
 
-// Checkpoint is a serialized process execution state.
-type Checkpoint struct {
-	// Process identifies the family: "2-state", "3-state", "3-color".
-	Process string `json:"process"`
-	// N is the graph order the snapshot was taken on.
-	N     int   `json:"n"`
-	Round int   `json:"round"`
-	Bits  int64 `json:"bits"`
-	// States holds the per-vertex state: for 2-state 0=white/1=black; for
-	// 3-state the TriState values; for 3-color the Color values.
-	States []uint8 `json:"states"`
-	// Levels holds the 3-color switch levels (empty otherwise).
-	Levels []uint8 `json:"levels,omitempty"`
-	// ClockBits is the 3-color switch's separate bit accounting.
-	ClockBits int64 `json:"clockBits,omitempty"`
-	// Rngs holds each vertex's marshaled random stream.
-	Rngs [][]byte `json:"rngs"`
-	// BlackBias and ZetaLog2 reproduce the options that shape randomness.
-	BlackBias float64 `json:"blackBias"`
-	ZetaLog2  uint    `json:"zetaLog2,omitempty"`
-	// SchedRng is the daemon scheduler's selection stream, present once the
-	// process has taken a daemon step; restoring it resumes a
-	// daemon-scheduled execution coin-for-coin (the schedule after restore
-	// equals the schedule an uninterrupted run would have drawn). Steps and
-	// Moves carry the matching daemon accounting.
-	SchedRng []byte `json:"schedRng,omitempty"`
-	Steps    int    `json:"steps,omitempty"`
-	Moves    int    `json:"moves,omitempty"`
-}
-
-// Encode renders the checkpoint as JSON.
-func (c *Checkpoint) Encode() ([]byte, error) {
-	return json.Marshal(c)
-}
-
-// DecodeCheckpoint parses a JSON checkpoint.
+// DecodeCheckpoint parses an encoded checkpoint, rejecting damaged or
+// version-skewed data.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
-	var c Checkpoint
-	if err := json.Unmarshal(data, &c); err != nil {
+	c, err := snapshot.DecodeProcess(data)
+	if err != nil {
 		return nil, fmt.Errorf("mis: decode checkpoint: %w", err)
 	}
-	return &c, nil
-}
-
-func marshalRngs(rngs []*xrand.Rand) ([][]byte, error) {
-	out := make([][]byte, len(rngs))
-	for i, r := range rngs {
-		b, err := r.MarshalBinary()
-		if err != nil {
-			return nil, fmt.Errorf("mis: marshal rng %d: %w", i, err)
-		}
-		out[i] = b
-	}
-	return out, nil
-}
-
-func unmarshalRngs(blobs [][]byte, n int) ([]*xrand.Rand, error) {
-	if len(blobs) != n {
-		return nil, fmt.Errorf("mis: checkpoint has %d rng states, want %d", len(blobs), n)
-	}
-	out := make([]*xrand.Rand, n)
-	for i, b := range blobs {
-		r := xrand.New(0)
-		if err := r.UnmarshalBinary(b); err != nil {
-			return nil, fmt.Errorf("mis: rng %d: %w", i, err)
-		}
-		out[i] = r
-	}
-	return out, nil
+	return c, nil
 }
 
 // checkpointBias validates the checkpoint's coin bias. A zero value (legacy
@@ -119,44 +65,51 @@ func checkpointBias(c *Checkpoint) (float64, error) {
 	return c.BlackBias, nil
 }
 
-// restoreCore assembles an engine over restored state; SetAccounting
-// replays the checkpointed round/bit accounting into the coverage stamps.
-func restoreCore(g *graph.Graph, rule engine.Rule, state []uint8, rngs []*xrand.Rand, o options, noop bool, c *Checkpoint) *engine.Core {
+// capture snapshots the engine-owned execution state plus the shared
+// process options into a checkpoint shell; callers fill the
+// process-specific fields (name, state encoding, switch state).
+func capture(core *engine.Core, schedRng *xrand.Rand, o options) (*Checkpoint, error) {
+	c := &Checkpoint{BlackBias: o.blackBias, Seed: o.seed}
+	if err := c.CaptureEngine(core, schedRng); err != nil {
+		return nil, fmt.Errorf("mis: %w", err)
+	}
+	return c, nil
+}
+
+// restoreOptions rebuilds the option set for a restore: caller-supplied
+// options first (workers, local times, ...), then the checkpointed values
+// that shape randomness — the coin bias and the master seed, so auxiliary
+// streams derived lazily after the restore (a first daemon step's
+// selection stream) equal the streams the uninterrupted run would derive.
+func restoreOptions(c *Checkpoint, opts []Option) (options, error) {
+	o := buildOptions(opts)
+	var err error
+	if o.blackBias, err = checkpointBias(c); err != nil {
+		return o, err
+	}
+	o.seed = c.Seed
+	return o, nil
+}
+
+// restoreCore assembles an engine over restored state and replays the
+// checkpointed accounting (round/bits, daemon steps/moves, coverage
+// stamps) into it; the returned stream resumes daemon scheduling
+// coin-for-coin (nil when the checkpoint carries none).
+func restoreCore(g *graph.Graph, rule engine.Rule, state []uint8, rngs []*xrand.Rand, o options, noop bool, c *Checkpoint) (*engine.Core, *xrand.Rand, error) {
 	core := engine.New(g, rule, state, rngs, o.engine(noop))
-	core.SetAccounting(c.Round, c.Bits)
-	return core
-}
-
-// marshalSched serializes the daemon selection stream; nil when the process
-// never took a daemon step (the stream is derived lazily).
-func marshalSched(rng *xrand.Rand) ([]byte, error) {
-	if rng == nil {
-		return nil, nil
-	}
-	b, err := rng.MarshalBinary()
+	schedRng, err := c.RestoreEngine(core)
 	if err != nil {
-		return nil, fmt.Errorf("mis: marshal scheduler rng: %w", err)
+		return nil, nil, fmt.Errorf("mis: %w", err)
 	}
-	return b, nil
-}
-
-// restoreSched replays the checkpointed daemon accounting into core and
-// rebuilds the selection stream (nil when the checkpoint carries none, in
-// which case a later daemon step derives a fresh stream as usual).
-func restoreSched(core *engine.Core, c *Checkpoint) (*xrand.Rand, error) {
-	core.SetDaemonAccounting(c.Steps, c.Moves)
-	if c.SchedRng == nil {
-		return nil, nil
-	}
-	r := xrand.New(0)
-	if err := r.UnmarshalBinary(c.SchedRng); err != nil {
-		return nil, fmt.Errorf("mis: scheduler rng: %w", err)
-	}
-	return r, nil
+	return core, schedRng, nil
 }
 
 // Checkpoint snapshots the 2-state process.
 func (p *TwoState) Checkpoint() (*Checkpoint, error) {
+	c, err := capture(p.core, p.schedRng, p.opts)
+	if err != nil {
+		return nil, err
+	}
 	engineStates := p.core.States()
 	states := make([]uint8, len(engineStates))
 	for u, s := range engineStates {
@@ -164,26 +117,9 @@ func (p *TwoState) Checkpoint() (*Checkpoint, error) {
 			states[u] = 1
 		}
 	}
-	rngs, err := marshalRngs(p.core.Rngs())
-	if err != nil {
-		return nil, err
-	}
-	sched, err := marshalSched(p.schedRng)
-	if err != nil {
-		return nil, err
-	}
-	return &Checkpoint{
-		Process:   "2-state",
-		N:         p.N(),
-		Round:     p.Round(),
-		Bits:      p.core.Bits(),
-		States:    states,
-		Rngs:      rngs,
-		BlackBias: p.opts.blackBias,
-		SchedRng:  sched,
-		Steps:     p.core.Steps(),
-		Moves:     p.core.Moves(),
-	}, nil
+	c.Process = "2-state"
+	c.States = states
+	return c, nil
 }
 
 // RestoreTwoState reconstructs a 2-state process from a checkpoint on g.
@@ -196,12 +132,12 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 	if c.N != g.N() || len(c.States) != g.N() {
 		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, g.N())
 	}
-	rngs, err := unmarshalRngs(c.Rngs, g.N())
+	rngs, err := snapshot.UnmarshalRngs(c.Rngs, g.N())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mis: %w", err)
 	}
-	o := buildOptions(opts)
-	if o.blackBias, err = checkpointBias(c); err != nil {
+	o, err := restoreOptions(c, opts)
+	if err != nil {
 		return nil, err
 	}
 	state := make([]uint8, g.N())
@@ -211,8 +147,7 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 			state[u] = twoBlack
 		}
 	}
-	core := restoreCore(g, twoStateRule{}, state, rngs, o, true, c)
-	schedRng, err := restoreSched(core, c)
+	core, schedRng, err := restoreCore(g, twoStateRule{}, state, rngs, o, true, c)
 	if err != nil {
 		return nil, err
 	}
@@ -221,26 +156,13 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 
 // Checkpoint snapshots the 3-state process.
 func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
-	rngs, err := marshalRngs(p.core.Rngs())
+	c, err := capture(p.core, p.schedRng, p.opts)
 	if err != nil {
 		return nil, err
 	}
-	sched, err := marshalSched(p.schedRng)
-	if err != nil {
-		return nil, err
-	}
-	return &Checkpoint{
-		Process:   "3-state",
-		N:         p.N(),
-		Round:     p.Round(),
-		Bits:      p.core.Bits(),
-		States:    append([]uint8(nil), p.core.States()...),
-		Rngs:      rngs,
-		BlackBias: p.opts.blackBias,
-		SchedRng:  sched,
-		Steps:     p.core.Steps(),
-		Moves:     p.core.Moves(),
-	}, nil
+	c.Process = "3-state"
+	c.States = append([]uint8(nil), p.core.States()...)
+	return c, nil
 }
 
 // RestoreThreeState reconstructs a 3-state process from a checkpoint on g.
@@ -251,12 +173,12 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 	if c.N != g.N() || len(c.States) != g.N() {
 		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, g.N())
 	}
-	rngs, err := unmarshalRngs(c.Rngs, g.N())
+	rngs, err := snapshot.UnmarshalRngs(c.Rngs, g.N())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mis: %w", err)
 	}
-	o := buildOptions(opts)
-	if o.blackBias, err = checkpointBias(c); err != nil {
+	o, err := restoreOptions(c, opts)
+	if err != nil {
 		return nil, err
 	}
 	state := make([]uint8, g.N())
@@ -268,8 +190,7 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 			return nil, fmt.Errorf("mis: invalid 3-state value %d at vertex %d", s, u)
 		}
 	}
-	core := restoreCore(g, threeStateRule{}, state, rngs, o, false, c)
-	schedRng, err := restoreSched(core, c)
+	core, schedRng, err := restoreCore(g, threeStateRule{}, state, rngs, o, false, c)
 	if err != nil {
 		return nil, err
 	}
@@ -278,27 +199,21 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 
 // Checkpoint snapshots the 3-color process, including its switch.
 func (p *ThreeColor) Checkpoint() (*Checkpoint, error) {
+	c, err := capture(p.core, nil, p.opts)
+	if err != nil {
+		return nil, err
+	}
 	n := p.N()
 	levels := make([]uint8, n)
 	for u := 0; u < n; u++ {
 		levels[u] = p.rule.clock.Level(u)
 	}
-	rngs, err := marshalRngs(p.core.Rngs())
-	if err != nil {
-		return nil, err
-	}
-	return &Checkpoint{
-		Process:   "3-color",
-		N:         n,
-		Round:     p.Round(),
-		Bits:      p.core.Bits(),
-		States:    append([]uint8(nil), p.core.States()...),
-		Levels:    levels,
-		ClockBits: p.rule.clock.RandomBits(),
-		Rngs:      rngs,
-		BlackBias: p.opts.blackBias,
-		ZetaLog2:  p.opts.switchZetaLog2,
-	}, nil
+	c.Process = "3-color"
+	c.States = append([]uint8(nil), p.core.States()...)
+	c.Levels = levels
+	c.ClockBits = p.rule.clock.RandomBits()
+	c.ZetaLog2 = p.opts.switchZetaLog2
+	return c, nil
 }
 
 // RestoreThreeColor reconstructs a 3-color process from a checkpoint on g.
@@ -310,12 +225,12 @@ func RestoreThreeColor(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeCol
 	if c.N != n || len(c.States) != n || len(c.Levels) != n {
 		return nil, fmt.Errorf("mis: checkpoint order %d vs graph %d", c.N, n)
 	}
-	rngs, err := unmarshalRngs(c.Rngs, n)
+	rngs, err := snapshot.UnmarshalRngs(c.Rngs, n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mis: %w", err)
 	}
-	o := buildOptions(opts)
-	if o.blackBias, err = checkpointBias(c); err != nil {
+	o, err := restoreOptions(c, opts)
+	if err != nil {
 		return nil, err
 	}
 	o.switchZetaLog2 = c.ZetaLog2
@@ -332,9 +247,9 @@ func RestoreThreeColor(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeCol
 		}
 	}
 	rule := &threeColorRule{clock: newRestoredClock(g, c), rngs: rngs}
-	return &ThreeColor{
-		core: restoreCore(g, rule, state, rngs, o, false, c),
-		rule: rule,
-		opts: o,
-	}, nil
+	core, _, err := restoreCore(g, rule, state, rngs, o, false, c)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeColor{core: core, rule: rule, opts: o}, nil
 }

@@ -141,10 +141,19 @@ func NewThreeColor(g *graph.Graph, opts ...Option) *ThreeColor {
 			}
 		}
 	}
-	// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7). The clock
-	// is not context-pooled; 3-color runs still allocate its level arrays.
+	// D=3, on iff level ≤ 2; ζ = 2^-switchZetaLog2 (paper: 2^-7). A run
+	// context leases the clock's level arrays too, so a context-backed
+	// 3-color run makes no per-run O(n) allocation at all.
+	var clock *phaseclock.Clock
+	if o.ctx != nil {
+		levels, next := o.ctx.ClockBufs(n)
+		clock = phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2),
+			phaseclock.WithBuffers(levels, next))
+	} else {
+		clock = phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2))
+	}
 	rule := &threeColorRule{
-		clock: phaseclock.New(g, phaseclock.WithZetaLog2(o.switchZetaLog2)),
+		clock: clock,
 		rngs:  splitVertexStreams(n, master, o.ctx),
 	}
 	rule.clock.RandomizeLevels(irng)

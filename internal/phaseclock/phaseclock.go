@@ -63,6 +63,18 @@ func WithOnThreshold(m uint8) Option {
 	return func(c *Clock) { c.onMax = m }
 }
 
+// WithBuffers builds the clock on caller-owned level arrays instead of
+// fresh allocations — the engine.RunContext lease that closes the last
+// per-run O(n) allocation of the 18-state process. Both slices must have
+// length g.N(); New zeroes them. The caller owns the memory: a clock built
+// on leased buffers must not be used after the context's next lease.
+func WithBuffers(levels, next []uint8) Option {
+	return func(c *Clock) {
+		c.levels = levels
+		c.next = next
+	}
+}
+
 // New creates a clock with all levels zero (they jump to top on the first
 // step). Use RandomizeLevels or SetLevel for arbitrary (adversarial)
 // initialization — the process is self-stabilizing, so any initial levels
@@ -81,8 +93,19 @@ func New(g *graph.Graph, opts ...Option) *Clock {
 		panic(fmt.Sprintf("phaseclock: D must be >= 1, got %d", c.d))
 	}
 	n := g.N()
-	c.levels = make([]uint8, n)
-	c.next = make([]uint8, n)
+	if c.levels == nil && c.next == nil {
+		c.levels = make([]uint8, n)
+		c.next = make([]uint8, n)
+	} else {
+		if len(c.levels) != n || len(c.next) != n {
+			panic(fmt.Sprintf("phaseclock: leased buffers of length %d/%d for graph order %d",
+				len(c.levels), len(c.next), n))
+		}
+		for u := 0; u < n; u++ {
+			c.levels[u] = 0
+			c.next[u] = 0
+		}
+	}
 	c.completeG = n >= 2 && g.M() == n*(n-1)/2
 	return c
 }

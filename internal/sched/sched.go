@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -170,6 +171,78 @@ func (d *KFair) Select(privileged []int, _ *xrand.Rand) []int {
 	}
 	d.run[pick] = 0
 	return []int{pick}
+}
+
+// Stateful is implemented by daemons whose selection depends on schedule
+// history (the round-robin cursor, k-fair's starvation counters).
+// Checkpointing callers persist this state next to the selection stream so
+// a resumed schedule continues exactly where it stopped; stateless daemons
+// need only the stream.
+type Stateful interface {
+	Daemon
+	// MarshalState serializes the daemon's schedule-history state.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state produced by MarshalState on a daemon of
+	// the same name.
+	UnmarshalState(data []byte) error
+}
+
+var (
+	_ Stateful = (*RoundRobin)(nil)
+	_ Stateful = (*KFair)(nil)
+)
+
+// roundRobinState is the round-robin daemon's serialized form.
+type roundRobinState struct {
+	Cursor int `json:"cursor"`
+}
+
+// MarshalState implements Stateful.
+func (d *RoundRobin) MarshalState() ([]byte, error) {
+	return json.Marshal(roundRobinState{Cursor: d.cursor})
+}
+
+// UnmarshalState implements Stateful.
+func (d *RoundRobin) UnmarshalState(data []byte) error {
+	var st roundRobinState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: round-robin state: %w", err)
+	}
+	d.cursor = st.Cursor
+	return nil
+}
+
+// kFairState is the k-fair daemon's serialized form. K is stored for
+// validation: restoring into a daemon with a different window would
+// silently change the fairness boundary.
+type kFairState struct {
+	K    int   `json:"k"`
+	Step int   `json:"step"`
+	Seen []int `json:"seen,omitempty"`
+	Run  []int `json:"run,omitempty"`
+}
+
+// MarshalState implements Stateful.
+func (d *KFair) MarshalState() ([]byte, error) {
+	return json.Marshal(kFairState{K: d.k, Step: d.step, Seen: d.seen, Run: d.run})
+}
+
+// UnmarshalState implements Stateful.
+func (d *KFair) UnmarshalState(data []byte) error {
+	var st kFairState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: k-fair state: %w", err)
+	}
+	if st.K != d.k {
+		return fmt.Errorf("sched: k-fair state has window %d, daemon has %d", st.K, d.k)
+	}
+	if len(st.Seen) != len(st.Run) {
+		return fmt.Errorf("sched: k-fair state tracks %d seen vs %d run entries", len(st.Seen), len(st.Run))
+	}
+	d.step = st.Step
+	d.seen = st.Seen
+	d.run = st.Run
+	return nil
 }
 
 // DaemonNames lists the selectable daemon models in presentation order.

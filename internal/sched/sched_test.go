@@ -266,3 +266,55 @@ func TestRoundRobinCyclesFairly(t *testing.T) {
 		}
 	}
 }
+
+// A stateful daemon restored from MarshalState must continue the schedule
+// exactly: running a sequence, snapshotting mid-way, and resuming into a
+// fresh instance selects the same vertices as the uninterrupted daemon.
+func TestStatefulDaemonStateRoundTrip(t *testing.T) {
+	g := graph.Gnp(60, 0.1, xrand.New(3))
+	for _, name := range []string{"round-robin", "k-fair:3"} {
+		full, _ := DaemonByName(name)
+		half, _ := DaemonByName(name)
+		a := NewSequential(g, full, 7, Randomized())
+		b := NewSequential(g, half, 7, Randomized())
+		for i := 0; i < 40; i++ {
+			a.Step()
+			b.Step()
+		}
+		blob, err := half.(Stateful).MarshalState()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resumed, _ := DaemonByName(name)
+		if err := resumed.(Stateful).UnmarshalState(blob); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Swap the restored daemon under b's continuation.
+		b.daemon = resumed
+		for i := 0; i < 200; i++ {
+			am, bm := a.Step(), b.Step()
+			if am != bm {
+				t.Fatalf("%s: step %d: progress flags diverged", name, i)
+			}
+			for u := 0; u < g.N(); u++ {
+				if a.Black(u) != b.Black(u) {
+					t.Fatalf("%s: step %d vertex %d diverged", name, i, u)
+				}
+			}
+			if !am {
+				break
+			}
+		}
+		if a.Moves() != b.Moves() || a.Steps() != b.Steps() {
+			t.Fatalf("%s: accounting diverged (%d/%d moves, %d/%d steps)",
+				name, a.Moves(), b.Moves(), a.Steps(), b.Steps())
+		}
+	}
+	// Window mismatch is rejected.
+	k4, _ := DaemonByName("k-fair:4")
+	blob, _ := k4.(Stateful).MarshalState()
+	k8, _ := DaemonByName("k-fair:8")
+	if err := k8.(Stateful).UnmarshalState(blob); err == nil {
+		t.Fatal("k-fair window mismatch accepted")
+	}
+}

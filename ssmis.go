@@ -180,8 +180,9 @@ func BlackSet(p Process) []int {
 // the exact execution (same coins, same rounds). See the Restore functions.
 type Checkpoint = mis.Checkpoint
 
-// DecodeCheckpoint parses a JSON checkpoint produced by a process's
-// Checkpoint method.
+// DecodeCheckpoint parses an encoded checkpoint produced by a process's
+// Checkpoint method (the versioned internal/snapshot envelope); truncated,
+// corrupted, or version-skewed data is rejected with an error.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return mis.DecodeCheckpoint(data)
 }
