@@ -174,6 +174,17 @@ func BenchmarkEngineWorkersGnp1M(b *testing.B) {
 	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7), ssmis.WithWorkers(8))
 }
 
+func BenchmarkEngineFrontierClique4k(b *testing.B) {
+	// Refresh-heavy: on a complete graph every changing round sets dirtyAll
+	// and the membership refresh rescans all n vertices.
+	benchEngine(b, ssmis.Complete(4096))
+}
+
+func BenchmarkEngineWorkersClique4k(b *testing.B) {
+	// Same workload through the partitioned two-phase refresh at workers=8.
+	benchEngine(b, ssmis.Complete(4096), ssmis.WithWorkers(8))
+}
+
 func BenchmarkEngineFrontierChungLu1M(b *testing.B) {
 	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7))
 }

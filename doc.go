@@ -52,7 +52,20 @@
 // vertices with no black neighbor) covering the graph, whose first-cover
 // stamps double as the per-vertex local stabilization times
 // (WithLocalTimes). The engine also provides intra-round parallelism for
-// every process (WithWorkers), daemon-scheduled execution bridging
+// every process (WithWorkers): the universe is cut into word-aligned
+// partitions dealt evenly across workers (a ceil-divide in 64-bit word
+// units, so no worker idles while another owns two chunks), and every phase
+// of a round scales with the worker count — evaluation, commit, and the
+// membership refresh, which runs in two phases: (1) each worker re-derives
+// work/active bits for the dirty vertices of its own partition (disjoint
+// bitset words; per-worker count deltas merged in worker order), then (2)
+// the few vertices newly entering the stable core stamp coveredAt on their
+// closed neighborhoods sequentially, in ascending vertex order, because
+// those writes cross partitions. Both phases are pure functions of the
+// committed state and stamp with the same round number the sequential scan
+// would, so a parallel run — coverage stamps and all — is bit-identical to
+// the sequential one at every worker count. The engine further provides
+// daemon-scheduled execution bridging
 // internal/sched into the randomized processes (the DaemonRun methods, the
 // misrun -daemon flag and experiment E18), and reusable per-worker run
 // contexts (engine.RunContext): all per-run scratch — bitsets, counters,

@@ -159,8 +159,9 @@ type Core struct {
 	dirty        *bitset.Set
 	dirtyAll     bool
 	draw         Draw
-	forceGeneric bool        // DisableCompleteFastPath
-	ctx          *RunContext // non-nil when scratch is leased, not owned
+	refreshScr   []refreshScratch // per-worker phase-1 refresh accumulators
+	forceGeneric bool             // DisableCompleteFastPath
+	ctx          *RunContext      // non-nil when scratch is leased, not owned
 
 	// daemon accounting (daemon.go)
 	steps int
@@ -401,59 +402,6 @@ func (e *Core) commit(changes []change) {
 				e.dirty.Add(int(v))
 			}
 		}
-	}
-}
-
-// refresh re-derives worklist/active/coverage membership for the dirty
-// frontier (or every vertex under FullRescan / the complete-graph path).
-func (e *Core) refresh() {
-	if e.dirtyAll || e.opts.FullRescan {
-		n := e.g.N()
-		for v := 0; v < n; v++ {
-			e.refreshVertex(v)
-		}
-		e.dirtyAll = false
-	} else {
-		e.dirty.ForEach(e.refreshVertex)
-	}
-	e.dirty.Clear()
-}
-
-// refreshVertex re-derives cached memberships of v from its state and
-// counters, and advances the monotone coverage tracking.
-func (e *Core) refreshVertex(v int) {
-	s := e.state[v]
-	a, b := e.countA(v), e.countB(v)
-	if t := e.rule.Touched(v, s, a, b); t != e.work.Contains(v) {
-		e.work.SetTo(v, t)
-		if t {
-			e.workCnt++
-		} else {
-			e.workCnt--
-		}
-	}
-	if act := e.rule.Active(v, s, a, b); act != e.active.Contains(v) {
-		e.active.SetTo(v, act)
-		if act {
-			e.activeCnt++
-		} else {
-			e.activeCnt--
-		}
-	}
-	if e.rule.Black(s) && a == 0 && !e.inI.Contains(v) {
-		e.inI.Add(v)
-		e.cover(v)
-		for _, w := range e.g.Neighbors(v) {
-			e.cover(int(w))
-		}
-	}
-}
-
-// cover stamps v's first entry into N+(I_t) with the current round.
-func (e *Core) cover(v int) {
-	if e.coveredAt[v] < 0 {
-		e.coveredAt[v] = int32(e.round)
-		e.coveredCnt++
 	}
 }
 

@@ -3,36 +3,60 @@ package engine
 // Intra-round parallelism, shared by every rule. A synchronous round is
 // embarrassingly parallel across vertices: coins come from per-vertex
 // streams, so the execution is bit-identical to the sequential path
-// regardless of goroutine scheduling. The worklist is partitioned into
-// word-aligned vertex ranges; workers evaluate their ranges against the
-// frozen pre-round state, then commit their change lists with atomic
-// counter updates and atomic dirty-bit insertion. The membership refresh
-// stays sequential — it is O(|dirty|), not O(n), and determinism of the
-// counters matters more than the last few percent.
+// regardless of goroutine scheduling. The universe is partitioned into
+// word-aligned vertex ranges (partitionRange); workers evaluate their
+// ranges of the worklist against the frozen pre-round state, then commit
+// their change lists with atomic counter updates and atomic dirty-bit
+// insertion. The membership refresh that follows the commit uses the same
+// partition (refresh.go): its cost is O(|dirty|) only on frontier rounds —
+// under FullRescan, on the complete-graph fast path, and on high-churn
+// rounds it is O(n), which is why it is partitioned and parallel too
+// rather than left sequential.
 
 import (
 	"sync"
 	"sync/atomic"
 )
 
+// partitionRange returns the word-aligned vertex range [lo, hi) that worker
+// w of workers owns over the universe [0, n). The universe's 64-bit words
+// are dealt as evenly as possible — a ceil-divide in word units, replacing
+// the old (n/workers + 64) &^ 63 chunk formula, whose over-rounding could
+// hand early workers a whole extra word each and starve the tail (n=192,
+// workers=3 gave chunks 128/64/0, idling one worker in three). Every worker
+// owns at least one word whenever n > 64·(workers-1) — in particular
+// whenever n ≥ 64·workers — and ranges always tile [0, n) exactly.
+func partitionRange(n, workers, w int) (lo, hi int) {
+	words := (n + 63) / 64
+	base, rem := words/workers, words%workers
+	loWord := w*base + min(w, rem)
+	hiWord := loWord + base
+	if w < rem {
+		hiWord++
+	}
+	lo, hi = loWord*64, hiWord*64
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // stepParallel executes one synchronous round with opts.Workers goroutines.
 // Semantics are identical to the sequential Step.
 func (e *Core) stepParallel() {
 	n := e.g.N()
 	workers := e.opts.Workers
-	// Word-aligned chunks so concurrent worklist iteration touches disjoint
-	// bitset words.
-	chunk := (n/workers + 64) &^ 63
 
 	changesPer := make([][]change, workers)
 	var wg sync.WaitGroup
 	var bits int64
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		// Word-aligned ranges so concurrent worklist iteration touches
+		// disjoint bitset words.
+		lo, hi := partitionRange(n, workers, w)
 		if lo >= hi {
 			continue
 		}
@@ -70,6 +94,7 @@ func (e *Core) stepParallel() {
 	}
 	e.round++
 	e.refresh()
+	e.syncScratch()
 }
 
 // commitParallel applies the per-worker change lists concurrently. State

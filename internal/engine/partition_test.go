@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"testing"
+
+	"ssmis/internal/graph"
+)
+
+// The word-aligned partition behind stepParallel and the parallel refresh
+// must tile [0, n) exactly, stay word-aligned, and — the regression the old
+// (n/workers + 64) &^ 63 chunk formula failed — hand every worker a
+// non-empty range whenever n ≥ 64·workers. At n=192, workers=3 the old
+// formula produced chunks 128/64/0: worker 2 idled on a perfectly divisible
+// universe. This test fails against that formula.
+func TestPartitionCoversUniverseWithoutStarvation(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{192, 3}, // the motivating starvation case: 3 × 64 exactly
+		{64, 1}, {128, 2}, {192, 2}, {193, 3}, {256, 3}, {448, 7},
+		{512, 8}, {1000, 8}, {100000, 16}, {63, 2}, {1, 4}, {130, 3},
+	}
+	for _, c := range cases {
+		next := 0
+		for w := 0; w < c.workers; w++ {
+			lo, hi := partitionRange(c.n, c.workers, w)
+			if lo != next {
+				t.Fatalf("n=%d workers=%d: worker %d starts at %d, want %d (gap or overlap)",
+					c.n, c.workers, w, lo, next)
+			}
+			if hi < lo || hi > c.n {
+				t.Fatalf("n=%d workers=%d: worker %d range [%d,%d) escapes [0,%d)",
+					c.n, c.workers, w, lo, hi, c.n)
+			}
+			if hi > lo && (lo%64 != 0 || (hi%64 != 0 && hi != c.n)) {
+				t.Fatalf("n=%d workers=%d: worker %d range [%d,%d) not word-aligned",
+					c.n, c.workers, w, lo, hi)
+			}
+			if c.n >= 64*c.workers && hi == lo {
+				t.Fatalf("n=%d workers=%d: worker %d starved (empty range) despite n ≥ 64·workers",
+					c.n, c.workers, w)
+			}
+			next = hi
+		}
+		if next != c.n {
+			t.Fatalf("n=%d workers=%d: partition ends at %d, universe not covered", c.n, c.workers, next)
+		}
+	}
+}
+
+// Exhaustive sweep of small shapes: the ranges must tile [0, n) for every
+// (n, workers), including workers > words, and never starve a worker when
+// the universe has at least one word per worker.
+func TestPartitionExhaustiveSmall(t *testing.T) {
+	for n := 0; n <= 520; n += 7 {
+		for workers := 1; workers <= 12; workers++ {
+			next := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := partitionRange(n, workers, w)
+				if lo != next || hi < lo {
+					t.Fatalf("n=%d workers=%d worker=%d: [%d,%d) after %d", n, workers, w, lo, hi, next)
+				}
+				if n >= 64*workers && hi == lo {
+					t.Fatalf("n=%d workers=%d: worker %d starved", n, workers, w)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d workers=%d: covered only [0,%d)", n, workers, next)
+			}
+		}
+	}
+}
+
+// Fixing the partition must not change results: at the starvation shape
+// (n=192, workers=3) the parallel execution stays byte-identical to the
+// sequential one — states, rounds, bits, and coverage stamps.
+func TestPartitionFixKeepsExecutionIdentical(t *testing.T) {
+	for _, mk := range []func() *graph.Graph{
+		func() *graph.Graph { return graph.Star(192) },
+		func() *graph.Graph { return graph.Caterpillar(64, 2) }, // n = 192
+		func() *graph.Graph { return graph.Complete(192) },
+	} {
+		g := mk()
+		seq := newTestCore(g, 17, Options{NoopWhenIdle: true})
+		par := newTestCore(g, 17, Options{NoopWhenIdle: true, Workers: 3})
+		for i := 0; i < 100000 && !seq.Stabilized(); i++ {
+			seq.Step()
+			par.Step()
+			if !statesEqual(seq, par) {
+				t.Fatalf("%T n=%d round %d: parallel diverged", g, g.N(), seq.Round())
+			}
+		}
+		if !par.Stabilized() || seq.Bits() != par.Bits() || seq.Round() != par.Round() {
+			t.Fatalf("n=%d: accounting differs (bits %d/%d rounds %d/%d)",
+				g.N(), seq.Bits(), par.Bits(), seq.Round(), par.Round())
+		}
+		sc, pc := seq.CoveredAt(), par.CoveredAt()
+		for u := range sc {
+			if sc[u] != pc[u] {
+				t.Fatalf("n=%d: coverage stamp of %d differs: %d vs %d", g.N(), u, sc[u], pc[u])
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ type RunContext struct {
 	stateCnt                 []int
 	changes                  []change
 	priv                     []int
+	refreshScr               []refreshScratch
 
 	state []uint8
 	mask  []bool
@@ -151,6 +152,7 @@ func (c *RunContext) lease(e *Core, n, numStates int) {
 	e.stateCnt = c.stateCnt
 	e.changes = c.changes[:0]
 	e.priv = c.priv[:0]
+	e.refreshScr = c.refreshScr[:0]
 }
 
 // syncScratch hands the engine's append-grown per-round scratch back to the
@@ -160,6 +162,7 @@ func (e *Core) syncScratch() {
 	if e.ctx != nil {
 		e.ctx.changes = e.changes
 		e.ctx.priv = e.priv
+		e.ctx.refreshScr = e.refreshScr
 	}
 }
 

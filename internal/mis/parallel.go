@@ -1,10 +1,15 @@
 package mis
 
-// Intra-round parallelism. The shared engine parallelizes the coin-drawing
-// and commit phases of a synchronous round across worker goroutines for all
-// three processes. Because every vertex draws coins from its own stream, the
-// execution is bit-identical to the sequential engine regardless of
-// goroutine scheduling — asserted by differential tests.
+// Intra-round parallelism. The shared engine parallelizes every phase of a
+// synchronous round across worker goroutines for all three processes: the
+// coin-drawing evaluation, the commit, and the membership refresh that
+// follows it (a two-phase partitioned scan — vertex-local re-derive over
+// word-aligned partitions, then ordered coverage stamping of the few new
+// stable-core entrants). Because every vertex draws coins from its own
+// stream and the refresh is a pure per-vertex function of the committed
+// state, the execution is bit-identical to the sequential engine regardless
+// of goroutine scheduling — asserted by differential tests and the
+// TestRefreshDeterminismMatrix worker matrix.
 //
 // The parallel path pays goroutine-coordination overhead per round, so it
 // only wins on large graphs (≳10^5 vertices at typical densities); it is

@@ -1,0 +1,102 @@
+package mis
+
+import (
+	"fmt"
+	"testing"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/verify"
+)
+
+// Determinism matrix for the engine's partitioned two-phase refresh: every
+// process × forced uneven frontiers (star: one hub word saturates, leaf
+// words go quiet; caterpillar: churn concentrates on the spine; complete:
+// dirtyAll forces the O(n) full rescan every changing round) × workers ∈
+// {1, 2, 8}. Summaries, per-vertex colors, and the coveredAt stamps behind
+// the local-times instrument must be byte-identical to the sequential run.
+func TestRefreshDeterminismMatrix(t *testing.T) {
+	type proc struct {
+		name string
+		mk   func(g *graph.Graph, opts ...Option) Process
+	}
+	procs := []proc{
+		{"2-state", func(g *graph.Graph, opts ...Option) Process { return NewTwoState(g, opts...) }},
+		{"3-state", func(g *graph.Graph, opts ...Option) Process { return NewThreeState(g, opts...) }},
+		{"3-color", func(g *graph.Graph, opts ...Option) Process { return NewThreeColor(g, opts...) }},
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star", graph.Star(700)},
+		{"caterpillar", graph.Caterpillar(120, 5)},
+		{"complete", graph.Complete(256)},
+	}
+	type timed interface{ StabilizationTimes() []int }
+	for _, pr := range procs {
+		for _, gc := range graphs {
+			cap := 4 * DefaultRoundCap(gc.g.N())
+			base := pr.mk(gc.g, WithSeed(77), WithLocalTimes())
+			baseRes := Run(base, cap)
+			if !baseRes.Stabilized {
+				t.Fatalf("%s/%s: sequential run did not stabilize", pr.name, gc.name)
+			}
+			if err := verify.MIS(gc.g, base.Black); err != nil {
+				t.Fatalf("%s/%s: %v", pr.name, gc.name, err)
+			}
+			baseTimes := base.(timed).StabilizationTimes()
+			for _, workers := range []int{2, 8} {
+				name := fmt.Sprintf("%s/%s/workers=%d", pr.name, gc.name, workers)
+				p := pr.mk(gc.g, WithSeed(77), WithLocalTimes(), WithWorkers(workers))
+				if res := Run(p, cap); res != baseRes {
+					t.Fatalf("%s: summary %+v, sequential %+v", name, res, baseRes)
+				}
+				for u := 0; u < gc.g.N(); u++ {
+					if p.Black(u) != base.Black(u) {
+						t.Fatalf("%s: color of %d diverged", name, u)
+					}
+				}
+				pts := p.(timed).StabilizationTimes()
+				for u, bt := range baseTimes {
+					if pts[u] != bt {
+						t.Fatalf("%s: coveredAt stamp of %d is %d, sequential %d", name, u, pts[u], bt)
+					}
+				}
+			}
+			// The full-rescan path parallelizes over [0, n) the same way;
+			// it must agree with everything above too.
+			p := pr.mk(gc.g, WithSeed(77), WithLocalTimes(), WithWorkers(8), WithFullRescan())
+			if res := Run(p, cap); res != baseRes {
+				t.Fatalf("%s/%s full-rescan workers=8: summary %+v, sequential %+v",
+					pr.name, gc.name, res, baseRes)
+			}
+		}
+	}
+}
+
+// The refresh-heavy worst case: on a complete graph every changing round
+// sets dirtyAll and the refresh rescans all n vertices — exactly the O(n)
+// phase the partitioned refresh parallelizes. workers=8 must reproduce the
+// sequential execution on all three processes; CI runs this test under
+// -race by name.
+func TestParallelRefreshCompleteGraphWorkers8(t *testing.T) {
+	g := graph.Complete(400)
+	mks := []func(g *graph.Graph, opts ...Option) Process{
+		func(g *graph.Graph, opts ...Option) Process { return NewTwoState(g, opts...) },
+		func(g *graph.Graph, opts ...Option) Process { return NewThreeState(g, opts...) },
+		func(g *graph.Graph, opts ...Option) Process { return NewThreeColor(g, opts...) },
+	}
+	for i, mk := range mks {
+		for seed := uint64(0); seed < 3; seed++ {
+			cap := 4 * DefaultRoundCap(g.N())
+			seq := Run(mk(g, WithSeed(seed)), cap)
+			par := Run(mk(g, WithSeed(seed), WithWorkers(8)), cap)
+			if seq != par {
+				t.Fatalf("proc %d seed %d: parallel %+v vs sequential %+v", i, seed, par, seq)
+			}
+			if !seq.Stabilized {
+				t.Fatalf("proc %d seed %d: did not stabilize", i, seed)
+			}
+		}
+	}
+}
