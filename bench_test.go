@@ -129,7 +129,11 @@ func BenchmarkStepTwoStateGnp100k(b *testing.B) {
 }
 
 // --- shared-engine benchmarks: frontier vs full-rescan, sequential vs
-// workers (see BENCH_engine.json for recorded results) ---
+// workers, scalar vs bit-sliced kernel (see BENCH_engine.json for recorded
+// results). The Frontier/Rescan/Workers rows pin the scalar interface path
+// (WithScalarEngine) so their history stays comparable across PRs; the
+// Kernel rows measure the same workloads on the bit-sliced path the 2-state
+// process now selects by default. ---
 
 // benchEngine measures full time-to-stabilization of the 2-state process on
 // a fixed graph under the given extra options.
@@ -150,47 +154,64 @@ func benchEngine(b *testing.B, g *ssmis.Graph, opts ...ssmis.Option) {
 }
 
 func BenchmarkEngineFrontierGnp100k(b *testing.B) {
-	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7))
+	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7), ssmis.WithScalarEngine())
 }
 
 func BenchmarkEngineRescanGnp100k(b *testing.B) {
 	// The pre-engine cost model: every vertex re-derived every round.
-	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7), mis.WithFullRescan())
+	benchEngine(b, ssmis.GnpAvgDegree(100000, 10, 7), ssmis.WithScalarEngine(), mis.WithFullRescan())
 }
 
 func BenchmarkEngineFrontierChungLu100k(b *testing.B) {
-	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7))
+	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7), ssmis.WithScalarEngine())
 }
 
 func BenchmarkEngineRescanChungLu100k(b *testing.B) {
-	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7), mis.WithFullRescan())
+	benchEngine(b, ssmis.ChungLu(100000, 2.5, 10, 7), ssmis.WithScalarEngine(), mis.WithFullRescan())
 }
 
 func BenchmarkEngineFrontierGnp1M(b *testing.B) {
-	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7))
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7), ssmis.WithScalarEngine())
 }
 
 func BenchmarkEngineWorkersGnp1M(b *testing.B) {
-	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7), ssmis.WithWorkers(8))
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7), ssmis.WithScalarEngine(), ssmis.WithWorkers(8))
 }
 
 func BenchmarkEngineFrontierClique4k(b *testing.B) {
 	// Refresh-heavy: on a complete graph every changing round sets dirtyAll
 	// and the membership refresh rescans all n vertices.
-	benchEngine(b, ssmis.Complete(4096))
+	benchEngine(b, ssmis.Complete(4096), ssmis.WithScalarEngine())
 }
 
 func BenchmarkEngineWorkersClique4k(b *testing.B) {
 	// Same workload through the partitioned two-phase refresh at workers=8.
-	benchEngine(b, ssmis.Complete(4096), ssmis.WithWorkers(8))
+	benchEngine(b, ssmis.Complete(4096), ssmis.WithScalarEngine(), ssmis.WithWorkers(8))
 }
 
 func BenchmarkEngineFrontierChungLu1M(b *testing.B) {
-	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7))
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7), ssmis.WithScalarEngine())
 }
 
 func BenchmarkEngineWorkersChungLu1M(b *testing.B) {
-	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7), ssmis.WithWorkers(8))
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7), ssmis.WithScalarEngine(), ssmis.WithWorkers(8))
+}
+
+func BenchmarkEngineKernelGnp1M(b *testing.B) {
+	// The bit-sliced kernel on the n=10^6 frontier workload; compare with
+	// BenchmarkEngineFrontierGnp1M (the scalar row) — the runs are
+	// coin-for-coin identical, only the execution path differs.
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7))
+}
+
+func BenchmarkEngineKernelChungLu1M(b *testing.B) {
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7))
+}
+
+func BenchmarkEngineKernelClique4k(b *testing.B) {
+	// The complete-graph fast path on lanes: hasBlackNbr re-derived from the
+	// class total in O(n/64) words per full rescan.
+	benchEngine(b, ssmis.Complete(4096))
 }
 
 func BenchmarkBeepingRuntime1k(b *testing.B) {

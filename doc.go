@@ -72,6 +72,38 @@
 // coverage stamps, per-vertex generator arrays — leases from the worker's
 // context, so a worker amortizes its allocations across thousands of runs.
 //
+// Layer 1a — the bit-sliced kernel (internal/engine/kernel). For the 2-state
+// rule the engine drops to a word-parallel execution path processing 64
+// vertices per uint64. Two lanes carry the whole per-vertex condition: a
+// black lane (bit u = vertex u is black) and a hasBlackNbr lane (bit u =
+// vertex u has at least one black neighbor). The paper's activity predicate
+// — black with a black neighbor, or white without one — is then a two-gate
+// identity per word, active = ^(black XOR hbn), masked to the universe in
+// the tail word, and the stable core is core = black AND NOT hbn; activity
+// counts, quiescence detection, and full-rescan refresh all become
+// branch-free word loops over these identities. The hasBlackNbr lane is
+// maintained incrementally by the sequential commit: a vertex's bit flips
+// exactly when its black-neighbor counter crosses zero, so the lane costs
+// nothing on the (overwhelmingly common) counter updates that do not cross.
+// The parallel commit cannot order those flips race-free against its atomic
+// counter adds, so it only lands black bits atomically and the partitioned
+// refresh re-derives the hasBlackNbr words of the dirty frontier from the
+// settled counters; on complete graphs the lane fills from the class total
+// in O(n/64) words. The dirty frontier itself is tracked per lane word, not
+// per vertex — the refresh re-derives whole words anyway, and the word-index
+// set is 64x smaller (2KB at n=10^6), so the commit's random neighbor
+// marking stays cache-resident. Determinism: evaluation walks set bits of
+// each active word in ascending vertex order and draws each coin from that
+// vertex's own stream — one bit at bias 1/2, a 64-bit Bernoulli sample
+// otherwise — which is exactly the scalar loop's order and accounting, so a
+// kernel execution is coin-for-coin bit-identical to the scalar engine (and
+// hence to every runtime above). The kernel engages automatically when the
+// rule implements engine.KernelRule with no mid-round sub-process
+// (mis.TwoState does; the 3-state and 3-color processes stay scalar), and
+// WithScalarEngine forces the interface path — the golden reference the
+// determinism matrix, the misfuzz differential target, and the CI speed gate
+// (BENCH_kernel.json, >= 1.3x at n=10^6) pin the kernel against.
+//
 // Layer 2 — internal/batch, many runs. Every multi-run workload executes on
 // a work-stealing batch scheduler: work is submitted as shards (one graph,
 // many seeds — the graph builds once, lazily, and is shared read-only

@@ -214,6 +214,74 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Words returns the number of 64-bit words backing the set: ⌈Len()/64⌉.
+func (s *Set) Words() int { return len(s.words) }
+
+// Word returns the wi-th backing word; bit b of word wi is element 64·wi+b.
+// Bits at or above the universe size are always zero.
+func (s *Set) Word(wi int) uint64 { return s.words[wi] }
+
+// SetWord overwrites the wi-th backing word wholesale. Bits above the
+// universe size in the final word are masked off, preserving the Count
+// invariant. It is the word-parallel counterpart of SetTo: the engine's
+// bit-sliced kernel re-derives 64 memberships at a time and lands them here
+// with one store instead of 64 Contains/SetTo round trips.
+func (s *Set) SetWord(wi int, w uint64) {
+	s.words[wi] = w
+	if wi == len(s.words)-1 {
+		s.trim()
+	}
+}
+
+// ForEachWord calls fn once per nonzero backing word, in increasing order,
+// passing the word's base element index (a multiple of 64) and the word
+// itself. Iterating set bits with bits.TrailingZeros64 at the call site
+// costs one closure call per 64-element word instead of one per element,
+// which is what makes dense worklist scans word-parallel:
+//
+//	s.ForEachWord(func(base int, w uint64) {
+//		for ; w != 0; w &= w - 1 {
+//			u := base + bits.TrailingZeros64(w)
+//			...
+//		}
+//	})
+func (s *Set) ForEachWord(fn func(base int, w uint64)) {
+	for wi, w := range s.words {
+		if w != 0 {
+			fn(wi*wordBits, w)
+		}
+	}
+}
+
+// ForEachWordInRange calls fn once per backing word with at least one
+// element in [lo, hi), masked so only bits inside the range appear. lo and
+// hi are clamped to the universe. Word-aligned ranges see their words
+// unmasked, so partitioned callers pay no extra work.
+func (s *Set) ForEachWordInRange(lo, hi int, fn func(base int, w uint64)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	for wi := lo / wordBits; wi <= (hi-1)/wordBits; wi++ {
+		w := s.words[wi]
+		base := wi * wordBits
+		if base < lo {
+			w &^= (1 << uint(lo-base)) - 1
+		}
+		if base+wordBits > hi {
+			w &= (1 << uint(hi-base)) - 1
+		}
+		if w != 0 {
+			fn(base, w)
+		}
+	}
+}
+
 // ForEachInRange calls fn for every element of s in [lo, hi), in increasing
 // order. lo and hi are clamped to the universe; the common caller partitions
 // the universe into word-aligned chunks, making per-chunk iteration touch

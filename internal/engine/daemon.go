@@ -26,6 +26,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ssmis/internal/sched"
 	"ssmis/internal/xrand"
@@ -58,9 +59,11 @@ func (e *Core) DaemonStep(d sched.Daemon, rng *xrand.Rand) bool {
 		panic(fmt.Sprintf("engine: rule %T has a synchronous sub-process; daemon scheduling unsupported", e.rule))
 	}
 	e.priv = e.priv[:0]
-	e.work.ForEach(func(u int) {
-		if !e.inI.Contains(u) {
-			e.priv = append(e.priv, u)
+	e.work.ForEachWord(func(base int, w uint64) {
+		for ; w != 0; w &= w - 1 {
+			if u := base + bits.TrailingZeros64(w); !e.inI.Contains(u) {
+				e.priv = append(e.priv, u)
+			}
 		}
 	})
 	if len(e.priv) == 0 {
@@ -73,7 +76,7 @@ func (e *Core) DaemonStep(d sched.Daemon, rng *xrand.Rand) bool {
 		ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &e.draw)
 		e.moves++
 		if ns != s {
-			e.changes = append(e.changes, change{int32(u), ns})
+			e.changes = append(e.changes, change{U: int32(u), S: ns})
 		}
 	}
 	e.bits += e.draw.bits

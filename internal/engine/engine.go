@@ -31,8 +31,10 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ssmis/internal/bitset"
+	"ssmis/internal/engine/kernel"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
@@ -100,6 +102,11 @@ type Options struct {
 	// RunContext. Constructing another engine on the same context invalidates
 	// this one. Results are bit-identical with or without a context.
 	Ctx *RunContext
+	// Scalar forces the per-vertex interface path even for rules eligible
+	// for the bit-sliced kernel (KernelRule). The two paths are coin-for-coin
+	// bit-identical; the scalar engine is the golden reference the kernel is
+	// differentially pinned against.
+	Scalar bool
 }
 
 // Draw hands process coins to Rule.Evaluate. Each worker owns one, so bit
@@ -120,11 +127,10 @@ func (d *Draw) Coin(u int) bool {
 	return d.rngs[u].Bernoulli(d.bias)
 }
 
-// change is one committed transition.
-type change struct {
-	u int32
-	s uint8
-}
+// change is one committed transition: vertex U moves to state S. It is the
+// kernel's change record so the bit-sliced evaluator appends directly into
+// the engine's pending list and both paths share one commit pipeline.
+type change = kernel.Change
 
 // Core is the engine state for one process execution.
 type Core struct {
@@ -137,13 +143,18 @@ type Core struct {
 	round int
 	bits  int64
 
-	complete bool // complete-graph fast path: counters from class totals
-	useB     bool // rule uses counter B
+	complete bool    // complete-graph fast path: counters from class totals
+	useB     bool    // rule uses counter B
+	classTab []uint8 // rule.Class memoized per state byte (hot-loop dispatch)
 	nbrA     []int32
 	nbrB     []int32
 	totalA   int
 	totalB   int
 	stateCnt []int // population per state value
+
+	// bit-sliced kernel path (kernelpath.go); nil on the scalar path
+	kern           *kernel.Lanes
+	kWhite, kBlack uint8
 
 	work      *bitset.Set // touched vertices (this round's worklist)
 	workCnt   int
@@ -157,6 +168,7 @@ type Core struct {
 	// per-round scratch
 	changes      []change
 	dirty        *bitset.Set
+	dirtyW       *bitset.Set // kernel path: dirty lane words (universe = kern.Words())
 	dirtyAll     bool
 	draw         Draw
 	refreshScr   []refreshScratch // per-worker phase-1 refresh accumulators
@@ -203,11 +215,16 @@ func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Op
 		e.coveredAt = make([]int32, n)
 		e.dirty = bitset.New(n)
 	}
+	if e.classTab == nil {
+		e.classTab = make([]uint8, rule.NumStates()+1)
+	}
 	for s := uint8(1); int(s) <= rule.NumStates(); s++ {
-		if rule.Class(s)&ClassB != 0 {
+		e.classTab[s] = rule.Class(s)
+		if e.classTab[s]&ClassB != 0 {
 			e.useB = true
 		}
 	}
+	e.initKernel(n)
 	e.Rebuild()
 	return e
 }
@@ -310,7 +327,7 @@ func (e *Core) CoveredAt() []int32 { return e.coveredAt }
 func (e *Core) countA(u int) int32 {
 	if e.complete {
 		c := int32(e.totalA)
-		if e.rule.Class(e.state[u])&ClassA != 0 {
+		if e.classTab[e.state[u]]&ClassA != 0 {
 			c--
 		}
 		return c
@@ -325,7 +342,7 @@ func (e *Core) countB(u int) int32 {
 	}
 	if e.complete {
 		c := int32(e.totalB)
-		if e.rule.Class(e.state[u])&ClassB != 0 {
+		if e.classTab[e.state[u]]&ClassB != 0 {
 			c--
 		}
 		return c
@@ -350,16 +367,27 @@ func (e *Core) Step() {
 		e.stepParallel()
 		return
 	}
-	e.changes = e.changes[:0]
-	e.work.ForEach(func(u int) {
-		s := e.state[u]
-		ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &e.draw)
-		if ns != s {
-			e.changes = append(e.changes, change{int32(u), ns})
-		}
-	})
-	e.bits += e.draw.bits
-	e.draw.bits = 0
+	if e.kern != nil {
+		// Bit-sliced evaluation: whole active words, coins from the same
+		// per-vertex streams in the same ascending order as the loop below.
+		var drawn int64
+		e.changes, drawn = e.kern.EvalWords(0, e.kern.Words(), e.rngs, e.opts.Bias, e.changes[:0])
+		e.bits += drawn
+	} else {
+		e.changes = e.changes[:0]
+		e.work.ForEachWord(func(base int, w uint64) {
+			for ; w != 0; w &= w - 1 {
+				u := base + bits.TrailingZeros64(w)
+				s := e.state[u]
+				ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &e.draw)
+				if ns != s {
+					e.changes = append(e.changes, change{U: int32(u), S: ns})
+				}
+			}
+		})
+		e.bits += e.draw.bits
+		e.draw.bits = 0
+	}
 	if mr, ok := e.rule.(MidRound); ok {
 		mr.MidRound()
 	}
@@ -371,14 +399,18 @@ func (e *Core) Step() {
 
 // commit applies a batch of transitions and records the dirty frontier.
 func (e *Core) commit(changes []change) {
+	if e.kern != nil {
+		e.commitKernel(changes)
+		return
+	}
 	for _, c := range changes {
-		u := int(c.u)
-		s, ns := e.state[u], c.s
+		u := int(c.U)
+		s, ns := e.state[u], c.S
 		e.stateCnt[s]--
 		e.stateCnt[ns]++
 		e.state[u] = ns
 		e.dirty.Add(u)
-		oldCl, newCl := e.rule.Class(s), e.rule.Class(ns)
+		oldCl, newCl := e.classTab[s], e.classTab[ns]
 		if oldCl == newCl {
 			continue
 		}
@@ -437,7 +469,7 @@ func (e *Core) Rebuild() {
 	for u := 0; u < n; u++ {
 		s := e.state[u]
 		e.stateCnt[s]++
-		cl := e.rule.Class(s)
+		cl := e.classTab[s]
 		if cl == 0 {
 			continue
 		}
@@ -467,10 +499,28 @@ func (e *Core) Rebuild() {
 	for i := range e.coveredAt {
 		e.coveredAt[i] = -1
 	}
-	for v := 0; v < n; v++ {
-		e.refreshVertex(v)
+	if e.kern != nil {
+		// Bulk-load the lanes from the rebuilt state and counters, then
+		// derive every membership a word at a time.
+		e.kern.LoadState(e.state)
+		if e.complete {
+			e.kern.FillHBNComplete(e.totalA)
+		} else {
+			e.kern.LoadCounters(e.nbrA)
+		}
+		words := e.kern.Words()
+		for wi := 0; wi < words; wi++ {
+			e.refreshKernelWord(wi)
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			e.refreshVertex(v)
+		}
 	}
 	e.dirty.Clear()
+	if e.dirtyW != nil {
+		e.dirtyW.Clear()
+	}
 	e.dirtyAll = false
 }
 
@@ -533,6 +583,20 @@ func (e *Core) CheckIntegrity() error {
 		if want := e.rule.Black(s) && a == 0; want != e.inI.Contains(u) {
 			return fmt.Errorf("round %d: stable-core membership of %d = %v, recomputed %v",
 				e.round, u, e.inI.Contains(u), want)
+		}
+		if int(s) < len(e.classTab) && e.classTab[s] != e.rule.Class(s) {
+			return fmt.Errorf("round %d: class table entry for state %d = %d, rule says %d",
+				e.round, s, e.classTab[s], e.rule.Class(s))
+		}
+		if e.kern != nil {
+			if e.kern.Black(u) != e.rule.Black(s) {
+				return fmt.Errorf("round %d: kernel black bit of %d = %v, state says %v",
+					e.round, u, e.kern.Black(u), e.rule.Black(s))
+			}
+			if e.kern.HasBlackNbr(u) != (a > 0) {
+				return fmt.Errorf("round %d: kernel hasBlackNbr bit of %d = %v, recomputed counter %d",
+					e.round, u, e.kern.HasBlackNbr(u), a)
+			}
 		}
 	}
 	if workCnt != e.workCnt {

@@ -1,0 +1,309 @@
+// Package kernel is the bit-sliced execution path for the canonical 2-state
+// MIS rule (Definition 4 of the paper). The rule's entire per-vertex truth is
+// two bits — "am I black" and "do I have a black neighbor" — and its activity
+// predicate is a pure boolean function of them:
+//
+//	active(u) ⟺ (black ∧ hasBlackNbr) ∨ (white ∧ ¬hasBlackNbr)
+//	          ⟺ ¬(black ⊕ hasBlackNbr)
+//
+// so instead of asking an interface per vertex, the kernel packs both bits
+// into []uint64 lanes and evaluates 64 vertices per machine word:
+//
+//   - activity, quiescence checks, and membership refresh are branch-free
+//     word operations (XNOR of the two lanes, masked by the live-vertex tail
+//     word), with population counts replacing per-vertex counter bumps;
+//   - the stable core I_t is the word black &^ hasBlackNbr, so new entrants
+//     (the vertices that stamp coverage) fall out of one AND-NOT per word;
+//   - evaluation iterates only the set bits of each active word via
+//     trailing-zero counts, drawing each coin from that vertex's own stream.
+//
+// Determinism contract: coins are drawn in ascending vertex order, one per
+// active vertex, from exactly the per-vertex stream the scalar engine would
+// use, consuming exactly the same number of bits (one per coin at bias 1/2,
+// one 64-bit Bernoulli sample otherwise). Because every vertex owns its
+// stream, the execution is coin-for-coin bit-identical to the scalar
+// engine's — summaries, colors, coverage stamps, and RNG bit counts all
+// agree, which is what the determinism-matrix and misfuzz differential
+// harnesses pin with the scalar engine as the golden reference.
+//
+// The hasBlackNbr lane is not recomputed from scratch each round: the engine
+// maintains it incrementally from its neighbor counters at commit time — the
+// bit only flips when a counter crosses zero — or re-derives just the dirty
+// words during a parallel refresh (see engine/kernelpath.go for why the
+// parallel commit cannot flip bits race-free).
+package kernel
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"ssmis/internal/xrand"
+)
+
+const wordBits = 64
+
+// Change is one pending transition: vertex U moves to state S. The engine's
+// commit consumes these; the layout matches the scalar engine's change
+// record so both paths share one commit pipeline.
+type Change struct {
+	U int32
+	S uint8
+}
+
+// Lanes is the bit-sliced state of one 2-state execution: one bit per vertex
+// per lane, 64 vertices per word. The zero value is not usable; call New
+// (or Configure on reused memory).
+type Lanes struct {
+	black []uint64 // bit u ⟺ vertex u is black
+	hbn   []uint64 // bit u ⟺ vertex u has ≥ 1 black neighbor
+	n     int
+	tail  uint64 // mask of live bits in the final word
+	white uint8  // state value encoding white
+	blk   uint8  // state value encoding black
+}
+
+// New returns zeroed lanes over the universe [0, n) for a rule encoding
+// white and black with the given state values.
+func New(white, black uint8, n int) *Lanes {
+	l := &Lanes{}
+	l.Configure(white, black, n)
+	return l
+}
+
+// Configure reshapes l to the universe [0, n) with the given state encoding,
+// zeroing both lanes and reusing word allocations when capacity suffices —
+// the run-context recycling primitive (mirrors bitset.Set.Reset).
+func (l *Lanes) Configure(white, black uint8, n int) {
+	if n < 0 {
+		panic("kernel: negative universe")
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(l.black) < words {
+		l.black = make([]uint64, words)
+		l.hbn = make([]uint64, words)
+	} else {
+		l.black = l.black[:words]
+		l.hbn = l.hbn[:words]
+		for i := range l.black {
+			l.black[i] = 0
+			l.hbn[i] = 0
+		}
+	}
+	l.n = n
+	l.tail = ^uint64(0)
+	if rem := uint(n) % wordBits; rem != 0 {
+		l.tail = (1 << rem) - 1
+	}
+	l.white, l.blk = white, black
+}
+
+// N returns the universe size.
+func (l *Lanes) N() int { return l.n }
+
+// Words returns the number of 64-bit words per lane.
+func (l *Lanes) Words() int { return len(l.black) }
+
+// States returns the (white, black) state encoding.
+func (l *Lanes) States() (white, black uint8) { return l.white, l.blk }
+
+// mask returns the live-bit mask of word wi.
+func (l *Lanes) mask(wi int) uint64 {
+	if wi == len(l.black)-1 {
+		return l.tail
+	}
+	return ^uint64(0)
+}
+
+// Black reports the black bit of vertex u.
+func (l *Lanes) Black(u int) bool {
+	return l.black[u/wordBits]>>(uint(u)%wordBits)&1 == 1
+}
+
+// HasBlackNbr reports the hasBlackNbr bit of vertex u.
+func (l *Lanes) HasBlackNbr(u int) bool {
+	return l.hbn[u/wordBits]>>(uint(u)%wordBits)&1 == 1
+}
+
+// SetBlack sets the black bit of vertex u (sequential commit).
+func (l *Lanes) SetBlack(u int, b bool) {
+	bit := uint64(1) << (uint(u) % wordBits)
+	if b {
+		l.black[u/wordBits] |= bit
+	} else {
+		l.black[u/wordBits] &^= bit
+	}
+}
+
+// SetBlackAtomic sets the black bit of vertex u with an atomic word
+// operation, so a parallel commit's workers can land bits in shared words.
+// Mixing with the non-atomic mutators concurrently is not safe.
+func (l *Lanes) SetBlackAtomic(u int, b bool) {
+	bit := uint64(1) << (uint(u) % wordBits)
+	if b {
+		atomic.OrUint64(&l.black[u/wordBits], bit)
+	} else {
+		atomic.AndUint64(&l.black[u/wordBits], ^bit)
+	}
+}
+
+// SetHasBlackNbr sets the hasBlackNbr bit of vertex u — the incremental
+// maintenance hook: the engine's sequential commit calls it exactly when
+// vertex u's black-neighbor counter crosses zero.
+func (l *Lanes) SetHasBlackNbr(u int, b bool) {
+	bit := uint64(1) << (uint(u) % wordBits)
+	if b {
+		l.hbn[u/wordBits] |= bit
+	} else {
+		l.hbn[u/wordBits] &^= bit
+	}
+}
+
+// LoadState packs the black lane from a per-vertex state vector (state[u]
+// equal to the black encoding sets bit u). Rebuild-time bulk load.
+func (l *Lanes) LoadState(state []uint8) {
+	if len(state) != l.n {
+		panic("kernel: state length mismatch")
+	}
+	for wi := range l.black {
+		base := wi * wordBits
+		hi := base + wordBits
+		if hi > l.n {
+			hi = l.n
+		}
+		var w uint64
+		for u := base; u < hi; u++ {
+			if state[u] == l.blk {
+				w |= 1 << uint(u-base)
+			}
+		}
+		l.black[wi] = w
+	}
+}
+
+// LoadCounters packs the hasBlackNbr lane from the engine's black-neighbor
+// counters (bit u set ⟺ nbrA[u] > 0) for every word. Rebuild-time bulk load.
+func (l *Lanes) LoadCounters(nbrA []int32) {
+	if len(nbrA) != l.n {
+		panic("kernel: counter length mismatch")
+	}
+	l.LoadCountersWords(nbrA, 0, len(l.hbn))
+}
+
+// LoadCountersWords re-derives the hasBlackNbr bits of words [loWord,
+// hiWord) from the counters. The parallel refresh uses it on the dirty words
+// of each worker's partition: counter updates commit with atomic adds whose
+// interleaving cannot order bit flips race-free, so the settled counters are
+// re-read after the commit barrier instead.
+func (l *Lanes) LoadCountersWords(nbrA []int32, loWord, hiWord int) {
+	for wi := loWord; wi < hiWord; wi++ {
+		base := wi * wordBits
+		hi := base + wordBits
+		if hi > l.n {
+			hi = l.n
+		}
+		var w uint64
+		for u := base; u < hi; u++ {
+			if nbrA[u] > 0 {
+				w |= 1 << uint(u-base)
+			}
+		}
+		l.hbn[wi] = w
+	}
+}
+
+// FillHBNComplete derives the whole hasBlackNbr lane on a complete graph,
+// where the engine keeps class totals instead of per-vertex counters: with
+// totalA black vertices overall, a black vertex sees totalA-1 black
+// neighbors and a white one sees totalA, so the lane is all-ones for
+// totalA ≥ 2, the complement of the black lane for totalA = 1, and zero
+// otherwise — O(n/64) for the complete-graph refresh that used to rescan
+// all n vertices through the rule interface.
+func (l *Lanes) FillHBNComplete(totalA int) {
+	l.FillHBNCompleteWords(totalA, 0, len(l.hbn))
+}
+
+// FillHBNCompleteWords is FillHBNComplete restricted to words [loWord,
+// hiWord) — one partition of the parallel full-rescan refresh.
+func (l *Lanes) FillHBNCompleteWords(totalA, loWord, hiWord int) {
+	switch {
+	case totalA >= 2:
+		for wi := loWord; wi < hiWord; wi++ {
+			l.hbn[wi] = l.mask(wi)
+		}
+	case totalA == 1:
+		for wi := loWord; wi < hiWord; wi++ {
+			l.hbn[wi] = ^l.black[wi] & l.mask(wi)
+		}
+	default:
+		for wi := loWord; wi < hiWord; wi++ {
+			l.hbn[wi] = 0
+		}
+	}
+}
+
+// ActiveWord returns the activity word of word wi: the XNOR identity
+// ¬(black ⊕ hasBlackNbr), masked by the live-vertex tail. For the 2-state
+// rule Touched ≡ Active, so this single word is the worklist, the active
+// set, and the quiescence check for its 64 vertices.
+func (l *Lanes) ActiveWord(wi int) uint64 {
+	return ^(l.black[wi] ^ l.hbn[wi]) & l.mask(wi)
+}
+
+// CoreWord returns the stable-core word of word wi: black vertices with no
+// black neighbor, i.e. the members of I_t among these 64 vertices.
+func (l *Lanes) CoreWord(wi int) uint64 {
+	return l.black[wi] &^ l.hbn[wi]
+}
+
+// BlackWord returns the black lane word wi.
+func (l *Lanes) BlackWord(wi int) uint64 { return l.black[wi] }
+
+// EvalWords evaluates one synchronous round over the words [loWord, hiWord):
+// every active vertex draws a coin from its own stream in ascending vertex
+// order and the vertices whose color flips are appended to dst as pending
+// changes (for the 2-state rule a transition is always a flip: the new state
+// is the coin, and a coin equal to the current color is "no transition").
+// Nothing is committed — the lanes stay frozen at the pre-round state, so
+// concurrent workers may evaluate disjoint word ranges of the same round.
+// It returns the extended change list and the number of random bits drawn,
+// matching the scalar engine's accounting exactly: one bit per coin at bias
+// 1/2, one 64-bit Bernoulli sample per coin otherwise.
+func (l *Lanes) EvalWords(loWord, hiWord int, rngs []*xrand.Rand, bias float64, dst []Change) ([]Change, int64) {
+	var drawn int64
+	for wi := loWord; wi < hiWord; wi++ {
+		aw := l.ActiveWord(wi)
+		if aw == 0 {
+			continue
+		}
+		base := wi * wordBits
+		bw := l.black[wi]
+		var flips uint64
+		if bias == 0.5 {
+			drawn += int64(bits.OnesCount64(aw))
+			for w := aw; w != 0; w &= w - 1 {
+				tz := uint(bits.TrailingZeros64(w))
+				coin := rngs[base+int(tz)].Uint64() >> 63 // 1 = black, the scalar Bit()
+				flips |= (coin ^ (bw >> tz & 1)) << tz
+			}
+		} else {
+			drawn += 64 * int64(bits.OnesCount64(aw))
+			for w := aw; w != 0; w &= w - 1 {
+				tz := uint(bits.TrailingZeros64(w))
+				var coin uint64
+				if rngs[base+int(tz)].Bernoulli(bias) {
+					coin = 1
+				}
+				flips |= (coin ^ (bw >> tz & 1)) << tz
+			}
+		}
+		for w := flips; w != 0; w &= w - 1 {
+			tz := uint(bits.TrailingZeros64(w))
+			ns := l.white
+			if bw>>tz&1 == 0 {
+				ns = l.blk
+			}
+			dst = append(dst, Change{U: int32(base + int(tz)), S: ns})
+		}
+	}
+	return dst, drawn
+}

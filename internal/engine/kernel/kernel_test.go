@@ -1,0 +1,254 @@
+package kernel
+
+import (
+	"math/bits"
+	"testing"
+
+	"ssmis/internal/xrand"
+)
+
+const (
+	white uint8 = 1
+	black uint8 = 2
+)
+
+// randomLanes builds lanes plus the per-vertex state/counter vectors they
+// were packed from.
+func randomLanes(n int, rng *xrand.Rand) (*Lanes, []uint8, []int32) {
+	state := make([]uint8, n)
+	nbrA := make([]int32, n)
+	for u := range state {
+		state[u] = white
+		if rng.Bit() {
+			state[u] = black
+		}
+		if rng.Bit() {
+			nbrA[u] = int32(1 + rng.Intn(5))
+		}
+	}
+	l := New(white, black, n)
+	l.LoadState(state)
+	l.LoadCounters(nbrA)
+	return l, state, nbrA
+}
+
+// Lane packing must round-trip bit-for-bit, and the tail word must never
+// carry phantom vertices.
+func TestLoadRoundTripAndTail(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 63, 64, 65, 130, 512} {
+		l, state, nbrA := randomLanes(n, rng)
+		for u := 0; u < n; u++ {
+			if l.Black(u) != (state[u] == black) {
+				t.Fatalf("n=%d: black bit of %d wrong", n, u)
+			}
+			if l.HasBlackNbr(u) != (nbrA[u] > 0) {
+				t.Fatalf("n=%d: hbn bit of %d wrong", n, u)
+			}
+		}
+		last := l.Words() - 1
+		if l.BlackWord(last)&^l.mask(last) != 0 || l.ActiveWord(last)&^l.mask(last) != 0 {
+			t.Fatalf("n=%d: phantom bits above the universe", n)
+		}
+	}
+}
+
+// The XNOR activity identity must agree with the rule's per-vertex
+// definition: black with a black neighbor, or white without one.
+func TestActiveWordIdentity(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		l, state, nbrA := randomLanes(n, rng)
+		for u := 0; u < n; u++ {
+			isBlack := state[u] == black
+			want := (isBlack && nbrA[u] > 0) || (!isBlack && nbrA[u] == 0)
+			got := l.ActiveWord(u/64)>>(uint(u)%64)&1 == 1
+			if got != want {
+				t.Fatalf("n=%d vertex %d: active=%v, rule says %v", n, u, got, want)
+			}
+			wantCore := isBlack && nbrA[u] == 0
+			if got := l.CoreWord(u/64)>>(uint(u)%64)&1 == 1; got != wantCore {
+				t.Fatalf("n=%d vertex %d: core=%v, rule says %v", n, u, got, wantCore)
+			}
+		}
+	}
+}
+
+// FillHBNComplete must agree with the per-vertex counter semantics of a
+// complete graph at every black total, including the totalA=1 asymmetry
+// (the lone black vertex has no black neighbor, everyone else has it).
+func TestFillHBNComplete(t *testing.T) {
+	rng := xrand.New(3)
+	for _, n := range []int{1, 2, 65, 200} {
+		for _, totalA := range []int{0, 1, 2, 5} {
+			if totalA > n {
+				continue
+			}
+			state := make([]uint8, n)
+			for u := range state {
+				state[u] = white
+			}
+			// place totalA blacks at random positions
+			perm := rng.Perm(n)
+			for i := 0; i < totalA; i++ {
+				state[perm[i]] = black
+			}
+			l := New(white, black, n)
+			l.LoadState(state)
+			l.FillHBNComplete(totalA)
+			for u := 0; u < n; u++ {
+				others := totalA
+				if state[u] == black {
+					others--
+				}
+				if l.HasBlackNbr(u) != (others > 0) {
+					t.Fatalf("n=%d totalA=%d vertex %d: hbn=%v, want %v",
+						n, totalA, u, l.HasBlackNbr(u), others > 0)
+				}
+			}
+		}
+	}
+}
+
+// Incremental maintenance (SetHasBlackNbr on zero crossings) must reach the
+// same lane as a bulk re-pack of the final counters.
+func TestIncrementalHBNMatchesBulk(t *testing.T) {
+	rng := xrand.New(4)
+	n := 200
+	l, _, nbrA := randomLanes(n, rng)
+	for step := 0; step < 2000; step++ {
+		u := rng.Intn(n)
+		da := int32(1)
+		if nbrA[u] > 0 && rng.Bit() {
+			da = -1
+		}
+		nv := nbrA[u] + da
+		nbrA[u] = nv
+		if da > 0 {
+			if nv == 1 {
+				l.SetHasBlackNbr(u, true)
+			}
+		} else if nv == 0 {
+			l.SetHasBlackNbr(u, false)
+		}
+	}
+	ref := New(white, black, n)
+	ref.LoadCounters(nbrA)
+	for wi := 0; wi < l.Words(); wi++ {
+		if l.hbn[wi] != ref.hbn[wi] {
+			t.Fatalf("word %d: incremental %#x vs bulk %#x", wi, l.hbn[wi], ref.hbn[wi])
+		}
+	}
+}
+
+// scalarEval replays the scalar engine's evaluation loop: every active
+// vertex, ascending, draws Coin(u) and flips when the coin disagrees with
+// its color. EvalWords must produce the same changes from the same streams
+// with the same bit accounting.
+func scalarEval(l *Lanes, state []uint8, rngs []*xrand.Rand, bias float64) ([]Change, int64) {
+	var changes []Change
+	var drawn int64
+	for u := 0; u < l.n; u++ {
+		if l.ActiveWord(u/64)>>(uint(u)%64)&1 == 0 {
+			continue
+		}
+		var coin bool
+		if bias == 0.5 {
+			drawn++
+			coin = rngs[u].Bit()
+		} else {
+			drawn += 64
+			coin = rngs[u].Bernoulli(bias)
+		}
+		ns := white
+		if coin {
+			ns = black
+		}
+		if ns != state[u] {
+			changes = append(changes, Change{U: int32(u), S: ns})
+		}
+	}
+	return changes, drawn
+}
+
+func TestEvalWordsMatchesScalar(t *testing.T) {
+	master := xrand.New(5)
+	for trial := 0; trial < 30; trial++ {
+		r := master.Split(uint64(trial))
+		n := 1 + r.Intn(400)
+		bias := 0.5
+		if trial%3 == 1 {
+			bias = 0.2 + r.Float64()*0.6
+		}
+		l, state, _ := randomLanes(n, r)
+		mkStreams := func() []*xrand.Rand {
+			rngs := make([]*xrand.Rand, n)
+			for u := range rngs {
+				rngs[u] = master.Split(uint64(1000*trial + u))
+			}
+			return rngs
+		}
+		kChanges, kBits := l.EvalWords(0, l.Words(), mkStreams(), bias, nil)
+		sChanges, sBits := scalarEval(l, state, mkStreams(), bias)
+		if kBits != sBits {
+			t.Fatalf("trial %d: bits %d vs %d", trial, kBits, sBits)
+		}
+		if len(kChanges) != len(sChanges) {
+			t.Fatalf("trial %d: %d changes vs %d", trial, len(kChanges), len(sChanges))
+		}
+		for i := range kChanges {
+			if kChanges[i] != sChanges[i] {
+				t.Fatalf("trial %d change %d: %+v vs %+v", trial, i, kChanges[i], sChanges[i])
+			}
+		}
+		// Split ranges must concatenate to the full evaluation.
+		if l.Words() > 1 {
+			cut := 1 + int(master.Split(uint64(trial)).Uint64()%uint64(l.Words()-1))
+			rngs := mkStreams()
+			part1, b1 := l.EvalWords(0, cut, rngs, bias, nil)
+			part2, b2 := l.EvalWords(cut, l.Words(), rngs, bias, part1)
+			if b1+b2 != sBits || len(part2) != len(sChanges) {
+				t.Fatalf("trial %d: split eval accounting diverged", trial)
+			}
+			for i := range part2 {
+				if part2[i] != sChanges[i] {
+					t.Fatalf("trial %d: split eval change %d diverged", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// Configure must recycle capacity without leaking bits from a previous,
+// larger execution.
+func TestConfigureRecycles(t *testing.T) {
+	l := New(white, black, 300)
+	for wi := range l.black {
+		l.black[wi] = ^uint64(0)
+		l.hbn[wi] = ^uint64(0)
+	}
+	l.Configure(white, black, 100)
+	if l.Words() != 2 || l.N() != 100 {
+		t.Fatalf("reshaped to %d words / n=%d", l.Words(), l.N())
+	}
+	for wi := 0; wi < l.Words(); wi++ {
+		if l.black[wi] != 0 || l.hbn[wi] != 0 {
+			t.Fatalf("stale bits survived Configure in word %d", wi)
+		}
+	}
+	if popTotal(l) != 0 {
+		t.Fatal("stale population")
+	}
+}
+
+func popTotal(l *Lanes) int {
+	c := 0
+	for _, w := range l.black {
+		c += bits.OnesCount64(w)
+	}
+	for _, w := range l.hbn {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

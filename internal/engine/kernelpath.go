@@ -1,0 +1,248 @@
+package engine
+
+// The bit-sliced kernel path. For the canonical 2-state rule the engine's
+// per-vertex bookkeeping — worklist bit, active bit, stable-core bit — is a
+// pure boolean function of two bits per vertex (black, hasBlackNbr), so the
+// whole evaluate/commit/refresh cycle can run 64 vertices per machine word
+// over kernel.Lanes instead of one interface call per vertex:
+//
+//   - Step evaluates whole active words (kernel.EvalWords), drawing each coin
+//     from that vertex's own stream in ascending order — coin-for-coin
+//     bit-identical to the scalar loop;
+//   - the sequential commit maintains the hasBlackNbr lane incrementally: a
+//     bit flips exactly when the vertex's nbrA counter crosses zero;
+//   - the parallel commit cannot flip those bits race-free (its counter
+//     updates are atomic adds whose interleaving with atomic word OR/AND
+//     could leave a bit disagreeing with the settled counter), so it only
+//     lands the black bits atomically and the partitioned refresh re-derives
+//     the hasBlackNbr bits of the dirty words from the settled counters;
+//   - refresh re-derives memberships a word at a time: the activity word is
+//     the XNOR identity ^(black^hbn), stored wholesale into the work/active
+//     bitsets with popcount deltas, and the new stable-core entrants fall out
+//     of CoreWord &^ inI — refreshing a whole dirty word is idempotent for
+//     its non-dirty vertices, whose derived bits cannot have changed.
+//
+// Selection: New engages the kernel when the rule implements KernelRule, has
+// no mid-round sub-process, and Options.Scalar is false. Everything else —
+// daemon scheduling, checkpointing, run contexts, the complete-graph fast
+// path — flows through the same Core APIs unchanged.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"ssmis/internal/bitset"
+	"ssmis/internal/engine/kernel"
+)
+
+// KernelRule marks a rule as eligible for the bit-sliced kernel. The contract
+// is the canonical 2-state shape: exactly two states — the returned white
+// (class 0, not black) and black (ClassA, black) — with
+// Touched ≡ Active ≡ ¬(black ⊕ hasBlackNbr) and Evaluate returning the coin's
+// color for every touched vertex. New validates the class/black projections
+// and panics on a rule that claims the contract but breaks it.
+type KernelRule interface {
+	Rule
+	// KernelStates returns the rule's (white, black) state encodings.
+	KernelStates() (white, black uint8)
+}
+
+// Kernel reports whether the bit-sliced kernel path is engaged.
+func (e *Core) Kernel() bool { return e.kern != nil }
+
+// initKernel engages the kernel when the rule qualifies; called from New
+// before Rebuild populates the lanes.
+func (e *Core) initKernel(n int) {
+	kr, ok := e.rule.(KernelRule)
+	if !ok || e.opts.Scalar {
+		return
+	}
+	if _, mid := e.rule.(MidRound); mid {
+		return
+	}
+	w, b := kr.KernelStates()
+	if e.rule.Black(w) || !e.rule.Black(b) || e.rule.Class(w) != 0 || e.rule.Class(b) != ClassA {
+		panic(fmt.Sprintf("engine: rule %T declares kernel states (%d,%d) inconsistent with its Black/Class projections",
+			e.rule, w, b))
+	}
+	e.kWhite, e.kBlack = w, b
+	if e.ctx != nil {
+		e.kern, e.dirtyW = e.ctx.leaseLanes(w, b, n)
+	} else {
+		e.kern = kernel.New(w, b, n)
+		// The kernel refresh only ever consumes whole lane words, so the
+		// dirty frontier is tracked at word granularity: a set over the
+		// ⌈n/64⌉ word indices (n=10^6 → 2KB, L1-resident) instead of the
+		// 128KB per-vertex set the scalar path marks — the hottest writes in
+		// the sequential commit by a wide margin.
+		e.dirtyW = bitset.New(e.kern.Words())
+	}
+}
+
+// commitKernel is commit specialized to the kernel contract: every change is
+// a white↔black flip, so the class delta is ±1 on counter A with no counter
+// B, and the hasBlackNbr bit of a neighbor flips exactly when its counter
+// crosses zero. Dirty tracking is per lane word (dirtyW), not per vertex —
+// the refresh re-derives whole words anyway, and the word-index set is small
+// enough to stay cache-resident under the random neighbor writes.
+func (e *Core) commitKernel(changes []change) {
+	for _, c := range changes {
+		u := int(c.U)
+		s, ns := e.state[u], c.S
+		e.stateCnt[s]--
+		e.stateCnt[ns]++
+		e.state[u] = ns
+		e.dirtyW.Add(u >> 6)
+		toBlack := ns == e.kBlack
+		e.kern.SetBlack(u, toBlack)
+		if e.complete {
+			if toBlack {
+				e.totalA++
+			} else {
+				e.totalA--
+			}
+			e.dirtyAll = true
+			continue
+		}
+		if toBlack {
+			e.totalA++
+			for _, v := range e.g.Neighbors(u) {
+				nv := e.nbrA[v] + 1
+				e.nbrA[v] = nv
+				if nv == 1 {
+					e.kern.SetHasBlackNbr(int(v), true)
+				}
+				e.dirtyW.Add(int(v) >> 6)
+			}
+		} else {
+			e.totalA--
+			for _, v := range e.g.Neighbors(u) {
+				nv := e.nbrA[v] - 1
+				e.nbrA[v] = nv
+				if nv == 0 {
+					e.kern.SetHasBlackNbr(int(v), false)
+				}
+				e.dirtyW.Add(int(v) >> 6)
+			}
+		}
+	}
+}
+
+// refreshKernelWord re-derives the memberships of word wi's 64 vertices from
+// the lanes: one store per bitset (the 2-state worklist and active set
+// coincide), one popcount delta, and the new stable-core entrants stamped in
+// ascending order.
+func (e *Core) refreshKernelWord(wi int) {
+	aw := e.kern.ActiveWord(wi)
+	if old := e.work.Word(wi); aw != old {
+		e.work.SetWord(wi, aw)
+		e.active.SetWord(wi, aw)
+		d := bits.OnesCount64(aw) - bits.OnesCount64(old)
+		e.workCnt += d
+		e.activeCnt += d
+	}
+	if ent := e.kern.CoreWord(wi) &^ e.inI.Word(wi); ent != 0 {
+		base := wi * 64
+		for w := ent; w != 0; w &= w - 1 {
+			e.enterCore(base + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// refreshKernelSeq is the sequential kernel refresh. The incremental
+// hasBlackNbr maintenance in commitKernel keeps the lane exact here except on
+// the complete-graph path, which re-derives it from the class total in
+// O(n/64) words.
+func (e *Core) refreshKernelSeq() {
+	if e.dirtyAll || e.opts.FullRescan {
+		if e.complete {
+			e.kern.FillHBNComplete(e.totalA)
+		}
+		words := e.kern.Words()
+		for wi := 0; wi < words; wi++ {
+			e.refreshKernelWord(wi)
+		}
+	} else {
+		e.dirtyW.ForEachWord(func(base int, w uint64) {
+			for ; w != 0; w &= w - 1 {
+				e.refreshKernelWord(base + bits.TrailingZeros64(w))
+			}
+		})
+	}
+	e.dirtyAll = false
+	e.dirtyW.Clear()
+}
+
+// refreshKernelParallel is the two-phase partitioned refresh on lanes. Phase
+// 1 first settles the hasBlackNbr bits the parallel commit could not flip —
+// re-deriving each partition's dirty words (or, on a full rescan, its whole
+// word range) from the post-commit counters — then derives memberships per
+// word; entrants are collected per worker and stamped sequentially in phase
+// 2, exactly as the scalar refreshParallel does.
+func (e *Core) refreshKernelParallel(full bool) {
+	n := e.g.N()
+	workers := e.opts.Workers
+	bufs := e.refreshBufsFor(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		bufs[w].dWork, bufs[w].dActive = 0, 0
+		bufs[w].entrants = bufs[w].entrants[:0]
+		lo, hi := partitionRange(n, workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			loWord, hiWord := lo/64, (hi+63)/64
+			dw := 0
+			entrants := bufs[w].entrants
+			scanWord := func(wi int) {
+				aw := e.kern.ActiveWord(wi)
+				if old := e.work.Word(wi); aw != old {
+					e.work.SetWord(wi, aw)
+					e.active.SetWord(wi, aw)
+					dw += bits.OnesCount64(aw) - bits.OnesCount64(old)
+				}
+				if ent := e.kern.CoreWord(wi) &^ e.inI.Word(wi); ent != 0 {
+					base := wi * 64
+					for x := ent; x != 0; x &= x - 1 {
+						entrants = append(entrants, int32(base+bits.TrailingZeros64(x)))
+					}
+				}
+			}
+			if full {
+				if e.complete {
+					e.kern.FillHBNCompleteWords(e.totalA, loWord, hiWord)
+				} else {
+					e.kern.LoadCountersWords(e.nbrA, loWord, hiWord)
+				}
+				for wi := loWord; wi < hiWord; wi++ {
+					scanWord(wi)
+				}
+			} else {
+				e.dirtyW.ForEachWordInRange(loWord, hiWord, func(base int, w uint64) {
+					for ; w != 0; w &= w - 1 {
+						wi := base + bits.TrailingZeros64(w)
+						e.kern.LoadCountersWords(e.nbrA, wi, wi+1)
+						scanWord(wi)
+					}
+				})
+			}
+			bufs[w].dWork, bufs[w].dActive, bufs[w].entrants = dw, dw, entrants
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range bufs {
+		e.workCnt += bufs[w].dWork
+		e.activeCnt += bufs[w].dActive
+	}
+	// Phase 2: per-worker entrant lists are ascending and the partition is
+	// ordered, so concatenation stamps in ascending vertex order.
+	for w := range bufs {
+		for _, v := range bufs[w].entrants {
+			e.enterCore(int(v))
+		}
+	}
+}

@@ -14,6 +14,7 @@ package engine
 // rather than left sequential.
 
 import (
+	mbits "math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -63,13 +64,24 @@ func (e *Core) stepParallel() {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			if e.kern != nil {
+				// Word-aligned partitions are disjoint word ranges, so
+				// workers evaluate whole active words independently.
+				changes, drawn := e.kern.EvalWords(lo/64, (hi+63)/64, e.rngs, e.opts.Bias, nil)
+				changesPer[w] = changes
+				atomic.AddInt64(&bits, drawn)
+				return
+			}
 			d := Draw{rngs: e.rngs, bias: e.opts.Bias}
 			var changes []change
-			e.work.ForEachInRange(lo, hi, func(u int) {
-				s := e.state[u]
-				ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &d)
-				if ns != s {
-					changes = append(changes, change{int32(u), ns})
+			e.work.ForEachWordInRange(lo, hi, func(base int, bw uint64) {
+				for ; bw != 0; bw &= bw - 1 {
+					u := base + mbits.TrailingZeros64(bw)
+					s := e.state[u]
+					ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &d)
+					if ns != s {
+						changes = append(changes, change{U: int32(u), S: ns})
+					}
 				}
 			})
 			changesPer[w] = changes
@@ -117,13 +129,22 @@ func (e *Core) commitParallel(changesPer [][]change) {
 			defer wg.Done()
 			t := totals{stateCnt: make([]int32, len(e.stateCnt))}
 			for _, c := range changes {
-				u := int(c.u)
-				s, ns := e.state[u], c.s
+				u := int(c.U)
+				s, ns := e.state[u], c.S
 				t.stateCnt[s]--
 				t.stateCnt[ns]++
 				e.state[u] = ns
-				e.dirty.AddAtomic(u)
-				oldCl, newCl := e.rule.Class(s), e.rule.Class(ns)
+				if e.kern != nil {
+					// Only the black bit lands here; the hasBlackNbr flips
+					// cannot be ordered race-free against the atomic counter
+					// adds below, so the partitioned refresh re-derives them
+					// for the dirty words from the settled counters.
+					e.kern.SetBlackAtomic(u, ns == e.kBlack)
+					e.dirtyW.AddAtomic(u >> 6)
+				} else {
+					e.dirty.AddAtomic(u)
+				}
+				oldCl, newCl := e.classTab[s], e.classTab[ns]
 				if oldCl == newCl {
 					continue
 				}
@@ -138,9 +159,16 @@ func (e *Core) commitParallel(changesPer [][]change) {
 						e.dirty.AddAtomic(int(v))
 					}
 				} else if da != 0 {
-					for _, v := range e.g.Neighbors(u) {
-						atomic.AddInt32(&e.nbrA[v], da)
-						e.dirty.AddAtomic(int(v))
+					if e.kern != nil {
+						for _, v := range e.g.Neighbors(u) {
+							atomic.AddInt32(&e.nbrA[v], da)
+							e.dirtyW.AddAtomic(int(v) >> 6)
+						}
+					} else {
+						for _, v := range e.g.Neighbors(u) {
+							atomic.AddInt32(&e.nbrA[v], da)
+							e.dirty.AddAtomic(int(v))
+						}
 					}
 				}
 			}

@@ -32,12 +32,21 @@ package engine
 // at every worker count — including the coveredAt stamps that back the
 // local-times instrument.
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
 // refresh re-derives worklist/active/coverage membership for the dirty
 // frontier (or every vertex under FullRescan / the complete-graph path).
 func (e *Core) refresh() {
 	if e.opts.Workers > 1 {
+		if e.kern != nil {
+			e.refreshKernelParallel(e.dirtyAll || e.opts.FullRescan)
+			e.dirtyAll = false
+			e.dirtyW.Clear()
+			return
+		}
 		e.refreshParallel(e.dirtyAll || e.opts.FullRescan)
 		e.dirtyAll = false
 		e.dirty.Clear()
@@ -52,13 +61,21 @@ func (e *Core) refresh() {
 // worker pool per step would be pure coordination overhead. Both paths are
 // bit-identical, so this is a scheduling choice, never a semantic one.
 func (e *Core) refreshSeq() {
+	if e.kern != nil {
+		e.refreshKernelSeq()
+		return
+	}
 	if e.dirtyAll || e.opts.FullRescan {
 		n := e.g.N()
 		for v := 0; v < n; v++ {
 			e.refreshVertex(v)
 		}
 	} else {
-		e.dirty.ForEach(e.refreshVertex)
+		e.dirty.ForEachWord(func(base int, w uint64) {
+			for ; w != 0; w &= w - 1 {
+				e.refreshVertex(base + bits.TrailingZeros64(w))
+			}
+		})
 	}
 	e.dirtyAll = false
 	e.dirty.Clear()
@@ -173,7 +190,11 @@ func (e *Core) refreshParallel(full bool) {
 					scan(v)
 				}
 			} else {
-				e.dirty.ForEachInRange(lo, hi, scan)
+				e.dirty.ForEachWordInRange(lo, hi, func(base int, w uint64) {
+					for ; w != 0; w &= w - 1 {
+						scan(base + bits.TrailingZeros64(w))
+					}
+				})
 			}
 			bufs[w].dWork, bufs[w].dActive, bufs[w].entrants = dw, da, entrants
 		}(w, lo, hi)

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"ssmis/internal/bitset"
+	"ssmis/internal/engine/kernel"
 	"ssmis/internal/xrand"
 )
 
@@ -30,9 +31,12 @@ type RunContext struct {
 	coveredAt                []int32
 	nbrA, nbrB               []int32
 	stateCnt                 []int
+	classTab                 []uint8
 	changes                  []change
 	priv                     []int
 	refreshScr               []refreshScratch
+	lanes                    kernel.Lanes
+	dirtyW                   bitset.Set
 
 	state []uint8
 	mask  []bool
@@ -150,6 +154,8 @@ func (c *RunContext) lease(e *Core, n, numStates int) {
 	e.coveredAt = c.coveredAt
 	c.stateCnt = growInts(c.stateCnt, numStates+1)
 	e.stateCnt = c.stateCnt
+	c.classTab = growU8(c.classTab, numStates+1)
+	e.classTab = c.classTab
 	e.changes = c.changes[:0]
 	e.priv = c.priv[:0]
 	e.refreshScr = c.refreshScr[:0]
@@ -164,6 +170,16 @@ func (e *Core) syncScratch() {
 		e.ctx.priv = e.priv
 		e.ctx.refreshScr = e.refreshScr
 	}
+}
+
+// leaseLanes leases the context's bit-sliced kernel lanes, configured to the
+// given state encoding over [0, n), together with the word-granular dirty
+// set the kernel commit marks — the engine requests them only when the rule
+// qualifies for the kernel path.
+func (c *RunContext) leaseLanes(white, black uint8, n int) (*kernel.Lanes, *bitset.Set) {
+	c.lanes.Configure(white, black, n)
+	c.dirtyW.Reset(c.lanes.Words())
+	return &c.lanes, &c.dirtyW
 }
 
 // leaseCounters leases the neighbor-counter arrays; the engine requests them

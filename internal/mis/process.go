@@ -121,6 +121,9 @@ type options struct {
 	// ctx, when non-nil, leases all per-run scratch (engine structures,
 	// state vector, vertex streams) from a per-worker run context.
 	ctx *engine.RunContext
+	// scalar opts out of the engine's bit-sliced kernel (2-state only; the
+	// other processes always run the scalar interface path).
+	scalar bool
 }
 
 // engine translates the option set into engine options; noopWhenIdle selects
@@ -132,6 +135,7 @@ func (o options) engine(noopWhenIdle bool) engine.Options {
 		NoopWhenIdle: noopWhenIdle,
 		FullRescan:   o.fullRescan,
 		Ctx:          o.ctx,
+		Scalar:       o.scalar,
 	}
 }
 
@@ -185,6 +189,16 @@ func WithSwitchZetaLog2(k uint) Option {
 // strictly slower.
 func WithFullRescan() Option {
 	return func(o *options) { o.fullRescan = true }
+}
+
+// WithScalarEngine forces the per-vertex interface path even where the
+// engine's bit-sliced kernel applies (the 2-state process). The two paths
+// are coin-for-coin bit-identical — the scalar engine is the golden
+// reference the kernel is differentially pinned against — so this is a
+// diagnostic/benchmark knob, never a semantic one. The 3-state and 3-color
+// processes always run the scalar path, making this a no-op for them.
+func WithScalarEngine() Option {
+	return func(o *options) { o.scalar = true }
 }
 
 // WithRunContext builds the process on leased per-worker scratch: every
@@ -280,9 +294,15 @@ func splitVertexStreams(n int, master *xrand.Rand, ctx *engine.RunContext) []*xr
 	if ctx != nil {
 		return ctx.VertexStreams(n, master)
 	}
+	// One contiguous backing array instead of n individual allocations: at
+	// n=10^6 the per-vertex Splits used to be the bulk of construction's
+	// allocator traffic (the generators stay identical — SplitInto seeds
+	// each slot exactly as Split would).
+	backing := make([]xrand.Rand, n)
 	rngs := make([]*xrand.Rand, n)
 	for u := range rngs {
-		rngs[u] = master.Split(uint64(u))
+		master.SplitInto(&backing[u], uint64(u))
+		rngs[u] = &backing[u]
 	}
 	return rngs
 }

@@ -46,6 +46,11 @@ func (twoStateRule) Evaluate(u int, _ uint8, _, _ int32, d *engine.Draw) uint8 {
 	return twoWhite
 }
 
+// KernelStates marks the rule for the engine's bit-sliced kernel: its
+// activity predicate is exactly ¬(black ⊕ hasBlackNbr), so the engine
+// evaluates 64 vertices per word unless WithScalarEngine opts out.
+func (twoStateRule) KernelStates() (white, black uint8) { return twoWhite, twoBlack }
+
 // TwoState is the paper's 2-state MIS process (Definition 4). Each vertex is
 // black or white; in every round, each active vertex — black with a black
 // neighbor, or white with no black neighbor — resets to a uniformly random

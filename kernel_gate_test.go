@@ -1,0 +1,97 @@
+package ssmis_test
+
+// Kernel speed gate: the bit-sliced 2-state kernel against the scalar
+// interface path on the BenchmarkEngineFrontierGnp1M workload. The two paths
+// run coin-for-coin identical executions (same seeds, same rounds, same
+// terminal MIS), so the wall-clock ratio is a pure execution-path
+// comparison — a benchstat-style before/after with the noise of differing
+// work removed by construction. CI runs this on the 1-CPU runner and fails
+// the build if the kernel is not at least minKernelSpeedup faster; the
+// measurement JSON lands in the file named by BENCH_KERNEL_OUT (skipped when
+// unset, so ordinary `go test ./...` never pays the n=10^6 runs).
+//
+// Regenerate with:
+//
+//	BENCH_KERNEL_OUT=$PWD/BENCH_kernel.json go test -run TestKernelSpeedupGate .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ssmis"
+)
+
+const minKernelSpeedup = 1.3
+
+func TestKernelSpeedupGate(t *testing.T) {
+	outPath := os.Getenv("BENCH_KERNEL_OUT")
+	if outPath == "" {
+		t.Skip("BENCH_KERNEL_OUT not set")
+	}
+	g := ssmis.GnpAvgDegree(1000000, 10, 7)
+	const seeds = 5
+	// Total time over a fixed seed set; both paths replay the exact same
+	// executions, so the totals are directly comparable.
+	measure := func(opts ...ssmis.Option) (time.Duration, int) {
+		var total time.Duration
+		rounds := 0
+		for seed := uint64(0); seed < seeds; seed++ {
+			all := append([]ssmis.Option{ssmis.WithSeed(seed)}, opts...)
+			start := time.Now()
+			res := ssmis.Run(ssmis.NewTwoState(g, all...), 0)
+			total += time.Since(start)
+			if !res.Stabilized {
+				t.Fatalf("seed %d did not stabilize", seed)
+			}
+			rounds += res.Rounds
+		}
+		return total, rounds
+	}
+	// Warm-up both paths on a smaller instance (page-in, branch predictors).
+	warm := ssmis.GnpAvgDegree(100000, 10, 7)
+	ssmis.Run(ssmis.NewTwoState(warm, ssmis.WithScalarEngine()), 0)
+	ssmis.Run(ssmis.NewTwoState(warm), 0)
+
+	scalarNs, scalarRounds := measure(ssmis.WithScalarEngine())
+	kernelNs, kernelRounds := measure()
+	if scalarRounds != kernelRounds {
+		t.Fatalf("paths diverged: scalar %d rounds, kernel %d rounds", scalarRounds, kernelRounds)
+	}
+	speedup := float64(scalarNs.Nanoseconds()) / float64(kernelNs.Nanoseconds())
+
+	type row struct {
+		Name     string `json:"name"`
+		NsPerRun int64  `json:"ns_per_run"`
+	}
+	report := map[string]any{
+		"description": "Bit-sliced 2-state kernel vs the scalar interface path on the BenchmarkEngineFrontierGnp1M workload (G(n=10^6, avg degree 10), full time-to-stabilization including process construction, total over seeds 0-4; both paths replay identical executions). Gate: speedup >= 1.3 or the test fails. Regenerate with: BENCH_KERNEL_OUT=$PWD/BENCH_kernel.json go test -run TestKernelSpeedupGate .",
+		"environment": map[string]any{
+			"goos":         runtime.GOOS,
+			"goarch":       runtime.GOARCH,
+			"logical_cpus": runtime.NumCPU(),
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
+			"go":           runtime.Version(),
+		},
+		"results": []row{
+			{Name: "scalar_frontier_gnp1m", NsPerRun: scalarNs.Nanoseconds() / seeds},
+			{Name: "kernel_frontier_gnp1m", NsPerRun: kernelNs.Nanoseconds() / seeds},
+		},
+		"rounds_total": kernelRounds,
+		"speedup":      speedup,
+		"gate":         minKernelSpeedup,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scalar %v, kernel %v, speedup %.2fx", scalarNs, kernelNs, speedup)
+	if speedup < minKernelSpeedup {
+		t.Fatalf("kernel speedup %.2fx below the %.1fx gate on this runner", speedup, minKernelSpeedup)
+	}
+}

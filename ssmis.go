@@ -114,6 +114,11 @@ func WithLocalTimes() Option { return mis.WithLocalTimes() }
 // engine. Negative k panics.
 func WithWorkers(k int) Option { return mis.WithWorkers(k) }
 
+// WithScalarEngine opts the 2-state process out of the engine's bit-sliced
+// kernel, forcing the per-vertex interface path. The two paths are
+// coin-for-coin bit-identical; this is a diagnostic/benchmark knob.
+func WithScalarEngine() Option { return mis.WithScalarEngine() }
+
 // ToggleEdge returns a copy of g with edge {u,v} added if absent, removed
 // if present. Combine with a process's Rebind method to model topology
 // churn (experiment E15).
