@@ -139,12 +139,22 @@ func BenchmarkStepTwoStateGnp100k(b *testing.B) {
 // a fixed graph under the given extra options.
 func benchEngine(b *testing.B, g *ssmis.Graph, opts ...ssmis.Option) {
 	b.Helper()
+	benchEngineProc(b, g, func(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process {
+		return ssmis.NewTwoState(g, opts...)
+	}, opts...)
+}
+
+// benchEngineProc is benchEngine generalized over the process constructor,
+// for the 3-state and 3-color kernel rows.
+func benchEngineProc(b *testing.B, g *ssmis.Graph,
+	mk func(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process, opts ...ssmis.Option) {
+	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	rounds := 0
 	for i := 0; i < b.N; i++ {
 		all := append([]ssmis.Option{ssmis.WithSeed(uint64(i))}, opts...)
-		res := ssmis.Run(ssmis.NewTwoState(g, all...), 0)
+		res := ssmis.Run(mk(g, all...), 0)
 		if !res.Stabilized {
 			b.Fatal("run did not stabilize")
 		}
@@ -212,6 +222,40 @@ func BenchmarkEngineKernelClique4k(b *testing.B) {
 	// The complete-graph fast path on lanes: hasBlackNbr re-derived from the
 	// class total in O(n/64) words per full rescan.
 	benchEngine(b, ssmis.Complete(4096))
+}
+
+func mk3State(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process {
+	return ssmis.NewThreeState(g, opts...)
+}
+
+func mk3Color(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process {
+	return ssmis.NewThreeColor(g, opts...)
+}
+
+func BenchmarkEngineScalar3StateGnp1M(b *testing.B) {
+	// The 3-state scalar baseline for the two-lane kernel row below; the
+	// pair replays identical executions.
+	benchEngineProc(b, ssmis.GnpAvgDegree(1000000, 10, 7), mk3State, ssmis.WithScalarEngine())
+}
+
+func BenchmarkEngineKernel3StateGnp1M(b *testing.B) {
+	// The generic two-lane kernel path (no XOR-flip fast path): black0/black1
+	// in the lo/hi lanes, forced demotion folded into the hasBNbr lane.
+	benchEngineProc(b, ssmis.GnpAvgDegree(1000000, 10, 7), mk3State)
+}
+
+func BenchmarkEngineScalar3ColorGnp100k(b *testing.B) {
+	// 3-color runs at n=10^5: the O(log^2 n)-period phase clock drives
+	// ~1200 rounds per run at this size, so the 1M instance costs minutes.
+	benchEngineProc(b, ssmis.GnpAvgDegree(100000, 10, 7), mk3Color, ssmis.WithScalarEngine())
+}
+
+func BenchmarkEngineKernel3ColorGnp100k(b *testing.B) {
+	// The gate-lane kernel path: the phase-clock switch re-exported after
+	// every mid-round, gray→white gated per-vertex. The scalar clock
+	// sub-process runs on both paths, so the kernel's edge is diluted
+	// relative to the 2-/3-state rows.
+	benchEngineProc(b, ssmis.GnpAvgDegree(100000, 10, 7), mk3Color)
 }
 
 func BenchmarkBeepingRuntime1k(b *testing.B) {

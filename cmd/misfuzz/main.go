@@ -120,42 +120,80 @@ func fuzzTwoState(g *graph.Graph, seed uint64) string {
 	return ""
 }
 
-// fuzzKernel differentially fuzzes the engine's bit-sliced 2-state kernel
-// against the scalar interface path (the golden reference): same graph, same
-// seed, a random worker count, compared state-for-state every round with
-// exact random-bit accounting at stabilization.
+// fuzzKernel differentially fuzzes the engine's bit-sliced kernel against
+// the scalar interface path (the golden reference) for all three rules —
+// 2-state, 3-state, and 3-color: same graph, same seed, a random worker
+// count in {1, 8}, randomly frontier or full-rescan, compared
+// state-for-state (full states: black0 vs black1, colors AND switch
+// levels) every round with exact random-bit accounting at stabilization.
 func fuzzKernel(g *graph.Graph, seed uint64) string {
 	r := xrand.New(seed ^ 0x9e3779b97f4a7c15)
-	workers := []int{1, 2, 8}[r.Intn(3)]
-	kernOpts := []mis.Option{mis.WithSeed(seed), mis.WithWorkers(workers)}
-	if r.Bit() {
-		kernOpts = append(kernOpts, mis.WithFullRescan())
+	variants := []struct {
+		name    string
+		mk      func(opts ...mis.Option) mis.Process
+		stateOf func(p mis.Process, u int) int
+		// limitMul scales the round cap (the 3-color switch needs slack).
+		limitMul int
+	}{
+		{
+			"2-state",
+			func(opts ...mis.Option) mis.Process { return mis.NewTwoState(g, opts...) },
+			func(p mis.Process, u int) int {
+				if p.Black(u) {
+					return 1
+				}
+				return 0
+			},
+			4,
+		},
+		{
+			"3-state",
+			func(opts ...mis.Option) mis.Process { return mis.NewThreeState(g, opts...) },
+			func(p mis.Process, u int) int { return int(p.(*mis.ThreeState).State(u)) },
+			4,
+		},
+		{
+			"3-color",
+			func(opts ...mis.Option) mis.Process { return mis.NewThreeColor(g, opts...) },
+			func(p mis.Process, u int) int {
+				tc := p.(*mis.ThreeColor)
+				return int(tc.ColorOf(u))<<8 | int(tc.SwitchLevel(u))
+			},
+			8,
+		},
 	}
-	kern := mis.NewTwoState(g, kernOpts...)
-	scal := mis.NewTwoState(g, mis.WithSeed(seed), mis.WithScalarEngine())
-	limit := 4 * mis.DefaultRoundCap(g.N())
-	for rd := 0; rd < limit && !scal.Stabilized(); rd++ {
-		kern.Step()
-		scal.Step()
-		for u := 0; u < g.N(); u++ {
-			if kern.Black(u) != scal.Black(u) {
-				return fmt.Sprintf("workers=%d round %d vertex %d: kernel=%v scalar=%v",
-					workers, rd+1, u, kern.Black(u), scal.Black(u))
+	for _, v := range variants {
+		workers := []int{1, 8}[r.Intn(2)]
+		kernOpts := []mis.Option{mis.WithSeed(seed), mis.WithWorkers(workers)}
+		if r.Bit() {
+			kernOpts = append(kernOpts, mis.WithFullRescan())
+		}
+		kern := v.mk(kernOpts...)
+		scal := v.mk(mis.WithSeed(seed), mis.WithScalarEngine())
+		limit := v.limitMul * mis.DefaultRoundCap(g.N())
+		for rd := 0; rd < limit && !scal.Stabilized(); rd++ {
+			kern.Step()
+			scal.Step()
+			for u := 0; u < g.N(); u++ {
+				if v.stateOf(kern, u) != v.stateOf(scal, u) {
+					return fmt.Sprintf("%s workers=%d round %d vertex %d: kernel=%#x scalar=%#x",
+						v.name, workers, rd+1, u, v.stateOf(kern, u), v.stateOf(scal, u))
+				}
+			}
+			if kern.Stabilized() != scal.Stabilized() {
+				return fmt.Sprintf("%s workers=%d round %d: stabilization flags disagree", v.name, workers, rd+1)
 			}
 		}
-		if kern.Stabilized() != scal.Stabilized() {
-			return fmt.Sprintf("workers=%d round %d: stabilization flags disagree", workers, rd+1)
+		if !scal.Stabilized() {
+			return fmt.Sprintf("%s: no stabilization within %d rounds", v.name, limit)
 		}
-	}
-	if !scal.Stabilized() {
-		return fmt.Sprintf("no stabilization within %d rounds", limit)
-	}
-	if kern.RandomBits() != scal.RandomBits() {
-		return fmt.Sprintf("workers=%d bit accounting: kernel=%d scalar=%d",
-			workers, kern.RandomBits(), scal.RandomBits())
-	}
-	if err := verify.MIS(g, kern.Black); err != nil {
-		return "kernel stabilized to non-MIS: " + err.Error()
+		if kern.RandomBits() != scal.RandomBits() {
+			return fmt.Sprintf("%s workers=%d bit accounting: kernel=%d scalar=%d",
+				v.name, workers, kern.RandomBits(), scal.RandomBits())
+		}
+		if err := verify.MIS(g, kern.Black); err != nil {
+			return v.name + " kernel stabilized to non-MIS: " + err.Error()
+		}
 	}
 	return ""
 }

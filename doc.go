@@ -72,37 +72,56 @@
 // coverage stamps, per-vertex generator arrays — leases from the worker's
 // context, so a worker amortizes its allocations across thousands of runs.
 //
-// Layer 1a — the bit-sliced kernel (internal/engine/kernel). For the 2-state
-// rule the engine drops to a word-parallel execution path processing 64
-// vertices per uint64. Two lanes carry the whole per-vertex condition: a
-// black lane (bit u = vertex u is black) and a hasBlackNbr lane (bit u =
-// vertex u has at least one black neighbor). The paper's activity predicate
-// — black with a black neighbor, or white without one — is then a two-gate
-// identity per word, active = ^(black XOR hbn), masked to the universe in
-// the tail word, and the stable core is core = black AND NOT hbn; activity
-// counts, quiescence detection, and full-rescan refresh all become
-// branch-free word loops over these identities. The hasBlackNbr lane is
-// maintained incrementally by the sequential commit: a vertex's bit flips
-// exactly when its black-neighbor counter crosses zero, so the lane costs
-// nothing on the (overwhelmingly common) counter updates that do not cross.
-// The parallel commit cannot order those flips race-free against its atomic
-// counter adds, so it only lands black bits atomically and the partitioned
-// refresh re-derives the hasBlackNbr words of the dirty frontier from the
-// settled counters; on complete graphs the lane fills from the class total
-// in O(n/64) words. The dirty frontier itself is tracked per lane word, not
-// per vertex — the refresh re-derives whole words anyway, and the word-index
-// set is 64x smaller (2KB at n=10^6), so the commit's random neighbor
-// marking stays cache-resident. Determinism: evaluation walks set bits of
-// each active word in ascending vertex order and draws each coin from that
-// vertex's own stream — one bit at bias 1/2, a 64-bit Bernoulli sample
-// otherwise — which is exactly the scalar loop's order and accounting, so a
-// kernel execution is coin-for-coin bit-identical to the scalar engine (and
-// hence to every runtime above). The kernel engages automatically when the
-// rule implements engine.KernelRule with no mid-round sub-process
-// (mis.TwoState does; the 3-state and 3-color processes stay scalar), and
-// WithScalarEngine forces the interface path — the golden reference the
-// determinism matrix, the misfuzz differential target, and the CI speed gate
-// (BENCH_kernel.json, >= 1.3x at n=10^6) pin the kernel against.
+// Layer 1a — the bit-sliced kernel (internal/engine/kernel). All three
+// rules drop to a word-parallel execution path processing 64 vertices per
+// uint64. A rule describes itself as a compact kernel.Spec — a two-bit
+// state encoding plus 16-entry truth tables for the activity and worklist
+// predicates over (lo, hi, hasANbr, hasBNbr), plus per-code transition maps
+// for coin and forced moves — and kernel.Compile turns each table into a
+// minimized branch-free word expression by Shannon expansion (the 2-state
+// activity table provably minimizes to the two-gate ^(lo XOR hbnA)
+// identity). The two-bit encoding is shared by every rule: the lo lane IS
+// the black/ClassA projection, code 0 is the white-like state, code 1 the
+// black state, and code 3 (lo AND hi) the ClassB state when one exists:
+//
+//	rule     code 0  code 1  code 2  code 3   extra lanes
+//	2-state  white   black   —       —        —
+//	3-state  white   black0  —       black1   hasBNbr (black1 neighbors)
+//	3-color  white   black   gray    —        gate (switch values)
+//
+// so core = lo AND NOT hbnA and the class totals are rule-generic word
+// loops. The hasANbr/hasBNbr lanes are maintained incrementally by the
+// sequential commit: a vertex's bit flips exactly when the corresponding
+// neighbor counter crosses zero, so the lanes cost nothing on the
+// (overwhelmingly common) counter updates that do not cross. The parallel
+// commit cannot order those flips race-free against its atomic counter
+// adds, so it only lands state codes atomically and the partitioned refresh
+// re-derives the neighbor-lane words of the dirty frontier from the settled
+// counters; on complete graphs both lanes fill from the class totals in
+// O(n/64) words. The dirty frontier itself is tracked per lane word, not
+// per vertex — the refresh re-derives whole words anyway, and the
+// word-index set is 64x smaller (2KB at n=10^6), so the commit's random
+// neighbor marking stays cache-resident. A rule with a mid-round
+// sub-process participates through the gate lane (engine.KernelGate): after
+// every MidRound — and at Rebuild — the engine asks the rule to re-export
+// one bit per vertex (the 3-color rule packs its phase-clock switch values,
+// σ_{t-1} by construction), and evaluation routes non-active worklist
+// vertices through the spec's ForcedOn/ForcedOff transition selected by
+// their gate bit. The gate affects only forced outcomes, never membership,
+// so the frontier logic is untouched. Determinism: evaluation walks set
+// bits of each worklist word in ascending vertex order and draws a coin —
+// one bit at bias 1/2, a 64-bit Bernoulli sample otherwise — from the
+// vertex's own stream only when the vertex is active (forced transitions
+// draw nothing), which is exactly the scalar loop's order and accounting,
+// so a kernel execution is coin-for-coin bit-identical to the scalar engine
+// (and hence to every runtime above). The kernel engages automatically when
+// the rule implements engine.KernelRule (all three mis processes do; the
+// registration validates the compiled program against the rule's own
+// predicates and class/black projections), and WithScalarEngine forces the
+// interface path — the golden reference the determinism matrix, the
+// kernel-lockstep matrix, the misfuzz differential target, and the CI speed
+// gate (BENCH_kernel.json, >= 1.3x 2-state and >= 1.2x 3-state at n=10^6)
+// pin the kernels against.
 //
 // Layer 2 — internal/batch, many runs. Every multi-run workload executes on
 // a work-stealing batch scheduler: work is submitted as shards (one graph,

@@ -153,8 +153,8 @@ type Core struct {
 	stateCnt []int // population per state value
 
 	// bit-sliced kernel path (kernelpath.go); nil on the scalar path
-	kern           *kernel.Lanes
-	kWhite, kBlack uint8
+	kern  *kernel.Lanes
+	kGate KernelGate // mid-round gate export (3-color switch); nil otherwise
 
 	work      *bitset.Set // touched vertices (this round's worklist)
 	workCnt   int
@@ -390,6 +390,7 @@ func (e *Core) Step() {
 	}
 	if mr, ok := e.rule.(MidRound); ok {
 		mr.MidRound()
+		e.exportGate()
 	}
 	e.commit(e.changes)
 	e.round++
@@ -500,14 +501,16 @@ func (e *Core) Rebuild() {
 		e.coveredAt[i] = -1
 	}
 	if e.kern != nil {
-		// Bulk-load the lanes from the rebuilt state and counters, then
-		// derive every membership a word at a time.
+		// Bulk-load the lanes from the rebuilt state and counters (and the
+		// gate from the rule's sub-process), then derive every membership a
+		// word at a time.
 		e.kern.LoadState(e.state)
 		if e.complete {
-			e.kern.FillHBNComplete(e.totalA)
+			e.kern.FillHBNComplete(e.totalA, e.totalB)
 		} else {
-			e.kern.LoadCounters(e.nbrA)
+			e.kern.LoadCounters(e.nbrA, e.nbrB)
 		}
+		e.exportGate()
 		words := e.kern.Words()
 		for wi := 0; wi < words; wi++ {
 			e.refreshKernelWord(wi)
@@ -589,13 +592,17 @@ func (e *Core) CheckIntegrity() error {
 				e.round, s, e.classTab[s], e.rule.Class(s))
 		}
 		if e.kern != nil {
-			if e.kern.Black(u) != e.rule.Black(s) {
-				return fmt.Errorf("round %d: kernel black bit of %d = %v, state says %v",
-					e.round, u, e.kern.Black(u), e.rule.Black(s))
+			if e.kern.StateAt(u) != s {
+				return fmt.Errorf("round %d: kernel lane code of %d decodes to state %d, state says %d",
+					e.round, u, e.kern.StateAt(u), s)
 			}
-			if e.kern.HasBlackNbr(u) != (a > 0) {
-				return fmt.Errorf("round %d: kernel hasBlackNbr bit of %d = %v, recomputed counter %d",
-					e.round, u, e.kern.HasBlackNbr(u), a)
+			if e.kern.HasANbr(u) != (a > 0) {
+				return fmt.Errorf("round %d: kernel hasANbr bit of %d = %v, recomputed counter %d",
+					e.round, u, e.kern.HasANbr(u), a)
+			}
+			if e.kern.Program().UseB() && e.kern.HasBNbr(u) != (b > 0) {
+				return fmt.Errorf("round %d: kernel hasBNbr bit of %d = %v, recomputed counter %d",
+					e.round, u, e.kern.HasBNbr(u), b)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"ssmis/internal/engine/kernel"
 	"ssmis/internal/graph"
 	"ssmis/internal/sched"
 	"ssmis/internal/xrand"
@@ -13,7 +14,15 @@ import (
 // engine test keeps exercising the scalar path.
 type kernelTestRule struct{ testRule }
 
-func (kernelTestRule) KernelStates() (white, black uint8) { return tWhite, tBlack }
+var kernelTestProg = kernel.MustCompile(kernel.Spec{
+	StateOf: [4]uint8{tWhite, tBlack, 0, 0},
+	Active:  kernel.TruthTable(func(code int, a, _ bool) bool { return (code&1 == 1) == a }),
+	Touched: kernel.TruthTable(func(code int, a, _ bool) bool { return (code&1 == 1) == a }),
+	CoinHi:  [4]uint8{1, 1, 0, 0},
+	CoinLo:  [4]uint8{0, 0, 0, 0},
+})
+
+func (kernelTestRule) LaneProgram() *kernel.Program { return kernelTestProg }
 
 // newKernelCore mirrors newTestCore (same seed → same initial state and
 // per-vertex streams) with the kernel-eligible rule.
@@ -212,6 +221,6 @@ func TestScalarOptionDisablesKernel(t *testing.T) {
 		t.Fatal("kernel not auto-selected for an eligible rule")
 	}
 	if c := newTestCore(g, 1, Options{}); c.Kernel() {
-		t.Fatal("kernel engaged for a rule without KernelStates")
+		t.Fatal("kernel engaged for a rule without a lane program")
 	}
 }

@@ -1,31 +1,44 @@
 package engine
 
-// The bit-sliced kernel path. For the canonical 2-state rule the engine's
-// per-vertex bookkeeping — worklist bit, active bit, stable-core bit — is a
-// pure boolean function of two bits per vertex (black, hasBlackNbr), so the
-// whole evaluate/commit/refresh cycle can run 64 vertices per machine word
-// over kernel.Lanes instead of one interface call per vertex:
+// The bit-sliced kernel path. For all three of the paper's rules the
+// engine's per-vertex bookkeeping — worklist bit, active bit, stable-core
+// bit — is a pure boolean function of at most four bits per vertex (the
+// 2-bit state code plus the zero/nonzero projections of the two neighbor
+// counters), so the whole evaluate/commit/refresh cycle can run 64 vertices
+// per machine word over kernel.Lanes instead of one interface call per
+// vertex:
 //
-//   - Step evaluates whole active words (kernel.EvalWords), drawing each coin
-//     from that vertex's own stream in ascending order — coin-for-coin
-//     bit-identical to the scalar loop;
-//   - the sequential commit maintains the hasBlackNbr lane incrementally: a
-//     bit flips exactly when the vertex's nbrA counter crosses zero;
+//   - Step evaluates whole touched words (kernel.EvalWords) against the
+//     rule's compiled lane program, drawing each coin from that vertex's own
+//     stream in ascending order — coin-for-coin bit-identical to the scalar
+//     loop;
+//   - the sequential commit maintains the neighbor lanes incrementally: a
+//     bit flips exactly when the vertex's counter crosses zero (for the
+//     3-state rule that includes the black1→black0 demotion's counter-B
+//     decrement);
 //   - the parallel commit cannot flip those bits race-free (its counter
 //     updates are atomic adds whose interleaving with atomic word OR/AND
 //     could leave a bit disagreeing with the settled counter), so it only
-//     lands the black bits atomically and the partitioned refresh re-derives
-//     the hasBlackNbr bits of the dirty words from the settled counters;
-//   - refresh re-derives memberships a word at a time: the activity word is
-//     the XNOR identity ^(black^hbn), stored wholesale into the work/active
-//     bitsets with popcount deltas, and the new stable-core entrants fall out
-//     of CoreWord &^ inI — refreshing a whole dirty word is idempotent for
-//     its non-dirty vertices, whose derived bits cannot have changed.
+//     lands the state codes atomically and the partitioned refresh
+//     re-derives the neighbor bits of the dirty words from the settled
+//     counters;
+//   - refresh re-derives memberships a word at a time: the touched and
+//     active words come from the compiled predicates, stored wholesale into
+//     the work/active bitsets with popcount deltas, and the new stable-core
+//     entrants fall out of CoreWord &^ inI — refreshing a whole dirty word
+//     is idempotent for its non-dirty vertices, whose derived bits cannot
+//     have changed;
+//   - a rule with a mid-round sub-process (the 3-color switch) participates
+//     by implementing KernelGate: its per-vertex gate bits are re-exported
+//     into the gate lane after every MidRound (and at Rebuild), so
+//     evaluation reads σ_{t-1} exactly as the scalar rule does. The gate
+//     only selects forced-transition outcomes — never membership — so the
+//     frontier logic is untouched.
 //
-// Selection: New engages the kernel when the rule implements KernelRule, has
-// no mid-round sub-process, and Options.Scalar is false. Everything else —
-// daemon scheduling, checkpointing, run contexts, the complete-graph fast
-// path — flows through the same Core APIs unchanged.
+// Selection: New engages the kernel when the rule implements KernelRule and
+// Options.Scalar is false; a MidRound rule additionally needs KernelGate.
+// Everything else — daemon scheduling, checkpointing, run contexts, the
+// complete-graph fast path — flows through the same Core APIs unchanged.
 
 import (
 	"fmt"
@@ -36,16 +49,26 @@ import (
 	"ssmis/internal/engine/kernel"
 )
 
-// KernelRule marks a rule as eligible for the bit-sliced kernel. The contract
-// is the canonical 2-state shape: exactly two states — the returned white
-// (class 0, not black) and black (ClassA, black) — with
-// Touched ≡ Active ≡ ¬(black ⊕ hasBlackNbr) and Evaluate returning the coin's
-// color for every touched vertex. New validates the class/black projections
-// and panics on a rule that claims the contract but breaks it.
+// KernelRule marks a rule as eligible for the bit-sliced kernel. The rule
+// declares its lane semantics as a compiled kernel program (compile the
+// kernel.Spec once, at package level — a program is immutable and shared).
+// New validates the program against the rule's scalar Black/Class/Active/
+// Touched projections at registration and panics on a rule that claims the
+// contract but breaks it; the predicates must be vertex-independent and
+// depend on the counters only through zero/nonzero.
 type KernelRule interface {
 	Rule
-	// KernelStates returns the rule's (white, black) state encodings.
-	KernelStates() (white, black uint8)
+	// LaneProgram returns the rule's compiled lane program.
+	LaneProgram() *kernel.Program
+}
+
+// KernelGate is implemented by MidRound rules that participate in the
+// kernel path: ExportGate packs the per-vertex gate bits (the 3-color
+// switch values σ_t) into dst, one bit per vertex, 64 per word, leaving
+// bits beyond the universe zero. The engine calls it after every MidRound
+// and at Rebuild, so evaluation always reads the previous round's values.
+type KernelGate interface {
+	ExportGate(dst []uint64)
 }
 
 // Kernel reports whether the bit-sliced kernel path is engaged.
@@ -58,19 +81,24 @@ func (e *Core) initKernel(n int) {
 	if !ok || e.opts.Scalar {
 		return
 	}
+	var gate KernelGate
 	if _, mid := e.rule.(MidRound); mid {
-		return
+		// A mid-round sub-process influences evaluation outside the counter
+		// model; without a gate export the scalar path is the only correct
+		// one.
+		if gate, ok = e.rule.(KernelGate); !ok {
+			return
+		}
 	}
-	w, b := kr.KernelStates()
-	if e.rule.Black(w) || !e.rule.Black(b) || e.rule.Class(w) != 0 || e.rule.Class(b) != ClassA {
-		panic(fmt.Sprintf("engine: rule %T declares kernel states (%d,%d) inconsistent with its Black/Class projections",
-			e.rule, w, b))
+	prog := kr.LaneProgram()
+	if err := e.validateLaneProgram(prog, gate != nil); err != nil {
+		panic(fmt.Sprintf("engine: rule %T lane program inconsistent with its scalar projections: %v", e.rule, err))
 	}
-	e.kWhite, e.kBlack = w, b
+	e.kGate = gate
 	if e.ctx != nil {
-		e.kern, e.dirtyW = e.ctx.leaseLanes(w, b, n)
+		e.kern, e.dirtyW = e.ctx.leaseLanes(prog, n)
 	} else {
-		e.kern = kernel.New(w, b, n)
+		e.kern = kernel.New(prog, n)
 		// The kernel refresh only ever consumes whole lane words, so the
 		// dirty frontier is tracked at word granularity: a set over the
 		// ⌈n/64⌉ word indices (n=10^6 → 2KB, L1-resident) instead of the
@@ -80,13 +108,76 @@ func (e *Core) initKernel(n int) {
 	}
 }
 
-// commitKernel is commit specialized to the kernel contract: every change is
-// a white↔black flip, so the class delta is ±1 on counter A with no counter
-// B, and the hasBlackNbr bit of a neighbor flips exactly when its counter
-// crosses zero. Dirty tracking is per lane word (dirtyW), not per vertex —
-// the refresh re-derives whole words anyway, and the word-index set is small
-// enough to stay cache-resident under the random neighbor writes.
+// validateLaneProgram cross-checks the compiled lane program against the
+// rule's scalar projections over every used code and counter zero/nonzero
+// combination — the registration-time gate that keeps a mis-declared spec
+// from silently diverging from the golden scalar path.
+func (e *Core) validateLaneProgram(prog *kernel.Program, gated bool) error {
+	spec := prog.Spec()
+	if spec.UseGate != gated {
+		return fmt.Errorf("gate lane %v but mid-round gate export %v", spec.UseGate, gated)
+	}
+	if spec.UseB != e.useB {
+		return fmt.Errorf("spec UseB=%v but rule counter-B usage is %v", spec.UseB, e.useB)
+	}
+	for c := 0; c < 4; c++ {
+		s := spec.StateOf[c]
+		if s == 0 {
+			continue
+		}
+		if int(s) > e.rule.NumStates() {
+			return fmt.Errorf("code %d maps to state %d > NumStates %d", c, s, e.rule.NumStates())
+		}
+		if black := c&1 == 1; e.rule.Black(s) != black {
+			return fmt.Errorf("code %d (state %d): lo bit %v but Black says %v", c, s, black, e.rule.Black(s))
+		}
+		cl := e.rule.Class(s)
+		if (cl&ClassA != 0) != (c&1 == 1) {
+			return fmt.Errorf("code %d (state %d): ClassA %v disagrees with the lo bit", c, s, cl&ClassA != 0)
+		}
+		if (cl&ClassB != 0) != (spec.UseB && c == 3) {
+			return fmt.Errorf("code %d (state %d): ClassB states must be exactly code 3 of a UseB program", c, s)
+		}
+		for _, a := range []int32{0, 1} {
+			for _, b := range []int32{0, 1} {
+				if got, want := prog.ActiveBit(c, a > 0, b > 0), e.rule.Active(0, s, a, b); got != want {
+					return fmt.Errorf("code %d (state %d) a=%d b=%d: Active table %v, rule says %v", c, s, a, b, got, want)
+				}
+				if got, want := prog.TouchedBit(c, a > 0, b > 0), e.rule.Touched(0, s, a, b); got != want {
+					return fmt.Errorf("code %d (state %d) a=%d b=%d: Touched table %v, rule says %v", c, s, a, b, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exportGate re-fills the gate lane from the rule's mid-round sub-process;
+// called after every MidRound and during Rebuild so EvalWords always reads
+// the value the scalar Evaluate would (σ of the last completed round).
+func (e *Core) exportGate() {
+	if e.kern != nil && e.kGate != nil {
+		e.kGate.ExportGate(e.kern.GateWords())
+	}
+}
+
+// commitKernel is commit specialized to the kernel path: it mirrors the
+// scalar commit's class-delta bookkeeping and additionally lands the lane
+// code of every change and maintains the neighbor lanes incrementally — a
+// hasANbr/hasBNbr bit flips exactly when the neighbor's counter crosses
+// zero (the crossing tests nv == da / nv == 0 fire only on the matching
+// delta sign, since counters never go negative). Dirty tracking is per lane
+// word (dirtyW), not per vertex — the refresh re-derives whole words
+// anyway, and the word-index set is small enough to stay cache-resident
+// under the random neighbor writes. The lane flips write the raw hbn words
+// directly (kernel.HBNWords) and the loops are split per (da, db) shape:
+// this is the dominant flat cost of the whole kernel path, and a call or a
+// loop-invariant branch per neighbor is measurable at n = 10^6.
 func (e *Core) commitKernel(changes []change) {
+	hbnA, hbnB := e.kern.HBNWords()
+	loL, hiL := e.kern.StateWords()
+	prog := e.kern.Program()
+	useHi := prog.UseHi()
 	for _, c := range changes {
 		u := int(c.U)
 		s, ns := e.state[u], c.S
@@ -94,53 +185,105 @@ func (e *Core) commitKernel(changes []change) {
 		e.stateCnt[ns]++
 		e.state[u] = ns
 		e.dirtyW.Add(u >> 6)
-		toBlack := ns == e.kBlack
-		e.kern.SetBlack(u, toBlack)
-		if e.complete {
-			if toBlack {
-				e.totalA++
+		code := prog.CodeOf(ns)
+		if code > 3 {
+			panic(fmt.Sprintf("kernel: state %d not in the lane encoding", ns))
+		}
+		ubit := uint64(1) << (uint(u) & 63)
+		if code&1 != 0 {
+			loL[u>>6] |= ubit
+		} else {
+			loL[u>>6] &^= ubit
+		}
+		if useHi {
+			if code&2 != 0 {
+				hiL[u>>6] |= ubit
 			} else {
-				e.totalA--
+				hiL[u>>6] &^= ubit
 			}
+		}
+		oldCl, newCl := e.classTab[s], e.classTab[ns]
+		if oldCl == newCl {
+			continue
+		}
+		da := int32(newCl&ClassA) - int32(oldCl&ClassA)
+		db := (int32(newCl&ClassB) - int32(oldCl&ClassB)) >> 1
+		e.totalA += int(da)
+		e.totalB += int(db)
+		if e.complete {
 			e.dirtyAll = true
 			continue
 		}
-		if toBlack {
-			e.totalA++
+		if !e.useB {
+			db = 0
+		}
+		switch {
+		case da != 0 && db != 0:
 			for _, v := range e.g.Neighbors(u) {
-				nv := e.nbrA[v] + 1
-				e.nbrA[v] = nv
-				if nv == 1 {
-					e.kern.SetHasBlackNbr(int(v), true)
+				vi := int(v)
+				bit := uint64(1) << (uint(vi) & 63)
+				na := e.nbrA[vi] + da
+				e.nbrA[vi] = na
+				if na == da {
+					hbnA[vi>>6] |= bit
+				} else if na == 0 {
+					hbnA[vi>>6] &^= bit
 				}
-				e.dirtyW.Add(int(v) >> 6)
+				nb := e.nbrB[vi] + db
+				e.nbrB[vi] = nb
+				if nb == db {
+					hbnB[vi>>6] |= bit
+				} else if nb == 0 {
+					hbnB[vi>>6] &^= bit
+				}
+				e.dirtyW.Add(vi >> 6)
 			}
-		} else {
-			e.totalA--
+		case db != 0:
 			for _, v := range e.g.Neighbors(u) {
-				nv := e.nbrA[v] - 1
-				e.nbrA[v] = nv
-				if nv == 0 {
-					e.kern.SetHasBlackNbr(int(v), false)
+				vi := int(v)
+				nb := e.nbrB[vi] + db
+				e.nbrB[vi] = nb
+				if nb == db {
+					hbnB[vi>>6] |= 1 << (uint(vi) & 63)
+				} else if nb == 0 {
+					hbnB[vi>>6] &^= 1 << (uint(vi) & 63)
 				}
-				e.dirtyW.Add(int(v) >> 6)
+				e.dirtyW.Add(vi >> 6)
+			}
+		case da != 0:
+			for _, v := range e.g.Neighbors(u) {
+				vi := int(v)
+				na := e.nbrA[vi] + da
+				e.nbrA[vi] = na
+				if na == da {
+					hbnA[vi>>6] |= 1 << (uint(vi) & 63)
+				} else if na == 0 {
+					hbnA[vi>>6] &^= 1 << (uint(vi) & 63)
+				}
+				e.dirtyW.Add(vi >> 6)
 			}
 		}
 	}
 }
 
-// refreshKernelWord re-derives the memberships of word wi's 64 vertices from
-// the lanes: one store per bitset (the 2-state worklist and active set
-// coincide), one popcount delta, and the new stable-core entrants stamped in
-// ascending order.
+// refreshKernelWord re-derives the memberships of word wi's 64 vertices
+// from the lanes: one store per bitset word, popcount deltas, and the new
+// stable-core entrants stamped in ascending order. When the rule's touched
+// and active tables coincide (2-state) the second predicate evaluation is
+// skipped.
 func (e *Core) refreshKernelWord(wi int) {
-	aw := e.kern.ActiveWord(wi)
-	if old := e.work.Word(wi); aw != old {
-		e.work.SetWord(wi, aw)
+	tw := e.kern.TouchedWord(wi)
+	if old := e.work.Word(wi); tw != old {
+		e.work.SetWord(wi, tw)
+		e.workCnt += bits.OnesCount64(tw) - bits.OnesCount64(old)
+	}
+	aw := tw
+	if !e.kern.Program().TouchedIsActive() {
+		aw = e.kern.ActiveWord(wi)
+	}
+	if old := e.active.Word(wi); aw != old {
 		e.active.SetWord(wi, aw)
-		d := bits.OnesCount64(aw) - bits.OnesCount64(old)
-		e.workCnt += d
-		e.activeCnt += d
+		e.activeCnt += bits.OnesCount64(aw) - bits.OnesCount64(old)
 	}
 	if ent := e.kern.CoreWord(wi) &^ e.inI.Word(wi); ent != 0 {
 		base := wi * 64
@@ -151,13 +294,13 @@ func (e *Core) refreshKernelWord(wi int) {
 }
 
 // refreshKernelSeq is the sequential kernel refresh. The incremental
-// hasBlackNbr maintenance in commitKernel keeps the lane exact here except on
-// the complete-graph path, which re-derives it from the class total in
-// O(n/64) words.
+// neighbor-lane maintenance in commitKernel keeps the lanes exact here
+// except on the complete-graph path, which re-derives them from the class
+// totals in O(n/64) words.
 func (e *Core) refreshKernelSeq() {
 	if e.dirtyAll || e.opts.FullRescan {
 		if e.complete {
-			e.kern.FillHBNComplete(e.totalA)
+			e.kern.FillHBNComplete(e.totalA, e.totalB)
 		}
 		words := e.kern.Words()
 		for wi := 0; wi < words; wi++ {
@@ -174,16 +317,17 @@ func (e *Core) refreshKernelSeq() {
 	e.dirtyW.Clear()
 }
 
-// refreshKernelParallel is the two-phase partitioned refresh on lanes. Phase
-// 1 first settles the hasBlackNbr bits the parallel commit could not flip —
-// re-deriving each partition's dirty words (or, on a full rescan, its whole
-// word range) from the post-commit counters — then derives memberships per
-// word; entrants are collected per worker and stamped sequentially in phase
-// 2, exactly as the scalar refreshParallel does.
+// refreshKernelParallel is the two-phase partitioned refresh on lanes.
+// Phase 1 first settles the neighbor bits the parallel commit could not
+// flip — re-deriving each partition's dirty words (or, on a full rescan,
+// its whole word range) from the post-commit counters — then derives
+// memberships per word; entrants are collected per worker and stamped
+// sequentially in phase 2, exactly as the scalar refreshParallel does.
 func (e *Core) refreshKernelParallel(full bool) {
 	n := e.g.N()
 	workers := e.opts.Workers
 	bufs := e.refreshBufsFor(workers)
+	sameTA := e.kern.Program().TouchedIsActive()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		bufs[w].dWork, bufs[w].dActive = 0, 0
@@ -196,14 +340,21 @@ func (e *Core) refreshKernelParallel(full bool) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			loWord, hiWord := lo/64, (hi+63)/64
-			dw := 0
+			dw, da := 0, 0
 			entrants := bufs[w].entrants
 			scanWord := func(wi int) {
-				aw := e.kern.ActiveWord(wi)
-				if old := e.work.Word(wi); aw != old {
-					e.work.SetWord(wi, aw)
+				tw := e.kern.TouchedWord(wi)
+				if old := e.work.Word(wi); tw != old {
+					e.work.SetWord(wi, tw)
+					dw += bits.OnesCount64(tw) - bits.OnesCount64(old)
+				}
+				aw := tw
+				if !sameTA {
+					aw = e.kern.ActiveWord(wi)
+				}
+				if old := e.active.Word(wi); aw != old {
 					e.active.SetWord(wi, aw)
-					dw += bits.OnesCount64(aw) - bits.OnesCount64(old)
+					da += bits.OnesCount64(aw) - bits.OnesCount64(old)
 				}
 				if ent := e.kern.CoreWord(wi) &^ e.inI.Word(wi); ent != 0 {
 					base := wi * 64
@@ -214,9 +365,9 @@ func (e *Core) refreshKernelParallel(full bool) {
 			}
 			if full {
 				if e.complete {
-					e.kern.FillHBNCompleteWords(e.totalA, loWord, hiWord)
+					e.kern.FillHBNCompleteWords(e.totalA, e.totalB, loWord, hiWord)
 				} else {
-					e.kern.LoadCountersWords(e.nbrA, loWord, hiWord)
+					e.kern.LoadCountersWords(e.nbrA, e.nbrB, loWord, hiWord)
 				}
 				for wi := loWord; wi < hiWord; wi++ {
 					scanWord(wi)
@@ -225,12 +376,17 @@ func (e *Core) refreshKernelParallel(full bool) {
 				e.dirtyW.ForEachWordInRange(loWord, hiWord, func(base int, w uint64) {
 					for ; w != 0; w &= w - 1 {
 						wi := base + bits.TrailingZeros64(w)
-						e.kern.LoadCountersWords(e.nbrA, wi, wi+1)
+						if !e.complete {
+							e.kern.LoadCountersWords(e.nbrA, e.nbrB, wi, wi+1)
+						}
+						// Complete graph: only class-preserving changes reach
+						// here (anything else sets dirtyAll), so the lanes are
+						// already exact and only memberships need re-deriving.
 						scanWord(wi)
 					}
 				})
 			}
-			bufs[w].dWork, bufs[w].dActive, bufs[w].entrants = dw, dw, entrants
+			bufs[w].dWork, bufs[w].dActive, bufs[w].entrants = dw, da, entrants
 		}(w, lo, hi)
 	}
 	wg.Wait()

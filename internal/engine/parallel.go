@@ -93,6 +93,7 @@ func (e *Core) stepParallel() {
 
 	if mr, ok := e.rule.(MidRound); ok {
 		mr.MidRound()
+		e.exportGate()
 	}
 
 	if e.complete {
@@ -135,11 +136,11 @@ func (e *Core) commitParallel(changesPer [][]change) {
 				t.stateCnt[ns]++
 				e.state[u] = ns
 				if e.kern != nil {
-					// Only the black bit lands here; the hasBlackNbr flips
+					// Only the state code lands here; the neighbor-lane flips
 					// cannot be ordered race-free against the atomic counter
 					// adds below, so the partitioned refresh re-derives them
 					// for the dirty words from the settled counters.
-					e.kern.SetBlackAtomic(u, ns == e.kBlack)
+					e.kern.SetStateAtomic(u, ns)
 					e.dirtyW.AddAtomic(u >> 6)
 				} else {
 					e.dirty.AddAtomic(u)
@@ -156,7 +157,11 @@ func (e *Core) commitParallel(changesPer [][]change) {
 					for _, v := range e.g.Neighbors(u) {
 						atomic.AddInt32(&e.nbrA[v], da)
 						atomic.AddInt32(&e.nbrB[v], db)
-						e.dirty.AddAtomic(int(v))
+						if e.kern != nil {
+							e.dirtyW.AddAtomic(int(v) >> 6)
+						} else {
+							e.dirty.AddAtomic(int(v))
+						}
 					}
 				} else if da != 0 {
 					if e.kern != nil {

@@ -172,12 +172,14 @@ func (e *Core) syncScratch() {
 	}
 }
 
-// leaseLanes leases the context's bit-sliced kernel lanes, configured to the
-// given state encoding over [0, n), together with the word-granular dirty
-// set the kernel commit marks — the engine requests them only when the rule
-// qualifies for the kernel path.
-func (c *RunContext) leaseLanes(white, black uint8, n int) (*kernel.Lanes, *bitset.Set) {
-	c.lanes.Configure(white, black, n)
+// leaseLanes leases the context's bit-sliced kernel lanes, configured to
+// run the given compiled lane program over [0, n), together with the
+// word-granular dirty set the kernel commit marks — the engine requests
+// them only when the rule qualifies for the kernel path. Configure fully
+// zeroes every lane the program engages, so a context switching between
+// rules (2-state → 3-state → back) never leaks stale lane words.
+func (c *RunContext) leaseLanes(prog *kernel.Program, n int) (*kernel.Lanes, *bitset.Set) {
+	c.lanes.Configure(prog, n)
 	c.dirtyW.Reset(c.lanes.Words())
 	return &c.lanes, &c.dirtyW
 }

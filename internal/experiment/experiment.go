@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ssmis/internal/batch"
+	"ssmis/internal/mis"
 )
 
 // Config controls the cost of a run.
@@ -40,6 +41,21 @@ type Config struct {
 	// cells into a sweep checkpoint and replays any journaled prefix on
 	// resume (the missweep -checkpoint/-resume flags); see checkpoint.go.
 	Checkpoint *ExperimentCheckpoint
+	// ScalarEngine forces every process the harness constructs onto the
+	// engine's scalar interface path instead of the bit-sliced kernels (the
+	// missweep -scalar flag). The paths are coin-for-coin identical, so the
+	// tables must not change — the CI kernel-vs-scalar sweep smoke compares
+	// them byte for byte.
+	ScalarEngine bool
+}
+
+// procOpts prepends the configuration-level process options (currently the
+// scalar-engine switch) to a cell's own options.
+func (c Config) procOpts(opts ...mis.Option) []mis.Option {
+	if c.ScalarEngine {
+		return append([]mis.Option{mis.WithScalarEngine()}, opts...)
+	}
+	return opts
 }
 
 // CellLog accumulates per-cell wall-time measurements; safe for concurrent

@@ -143,7 +143,7 @@ func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, ma
 			if limit <= 0 {
 				limit = mis.DefaultRoundCap(g.N())
 			}
-			p := newProcess(kind, g, append([]mis.Option{mis.WithRunContext(rc), mis.WithSeed(seed)}, opts...)...)
+			p := newProcess(kind, g, append([]mis.Option{mis.WithRunContext(rc), mis.WithSeed(seed)}, cfg.procOpts(opts...)...)...)
 			res := mis.Run(p, limit)
 			switch {
 			case !res.Stabilized:

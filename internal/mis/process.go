@@ -121,8 +121,8 @@ type options struct {
 	// ctx, when non-nil, leases all per-run scratch (engine structures,
 	// state vector, vertex streams) from a per-worker run context.
 	ctx *engine.RunContext
-	// scalar opts out of the engine's bit-sliced kernel (2-state only; the
-	// other processes always run the scalar interface path).
+	// scalar opts out of the engine's bit-sliced kernel (all three
+	// processes auto-select it otherwise).
 	scalar bool
 }
 
@@ -191,12 +191,11 @@ func WithFullRescan() Option {
 	return func(o *options) { o.fullRescan = true }
 }
 
-// WithScalarEngine forces the per-vertex interface path even where the
-// engine's bit-sliced kernel applies (the 2-state process). The two paths
-// are coin-for-coin bit-identical — the scalar engine is the golden
-// reference the kernel is differentially pinned against — so this is a
-// diagnostic/benchmark knob, never a semantic one. The 3-state and 3-color
-// processes always run the scalar path, making this a no-op for them.
+// WithScalarEngine forces the per-vertex interface path instead of the
+// engine's bit-sliced kernel, which all three processes otherwise
+// auto-select. The two paths are coin-for-coin bit-identical — the scalar
+// engine is the golden reference the kernels are differentially pinned
+// against — so this is a diagnostic/benchmark knob, never a semantic one.
 func WithScalarEngine() Option {
 	return func(o *options) { o.scalar = true }
 }

@@ -73,38 +73,43 @@ func TestRefreshDeterminismMatrix(t *testing.T) {
 		}
 	}
 
-	// Kernel-vs-scalar axis. The 2-state runs above execute on the
+	// Kernel-vs-scalar axis. All three processes above execute on the
 	// bit-sliced kernel (auto-selected); here the scalar interface path is
 	// forced as the golden reference and every kernel configuration —
 	// workers {1, 2, 8}, frontier and full-rescan — must reproduce it
 	// byte for byte: summaries, colors, and the coveredAt stamps.
-	for _, gc := range graphs {
-		cap := 4 * DefaultRoundCap(gc.g.N())
-		scal := NewTwoState(gc.g, WithSeed(77), WithLocalTimes(), WithScalarEngine())
-		scalRes := Run(scal, cap)
-		if !scalRes.Stabilized {
-			t.Fatalf("2-state/%s: scalar run did not stabilize", gc.name)
-		}
-		scalTimes := scal.StabilizationTimes()
-		for _, workers := range []int{1, 2, 8} {
-			for _, rescan := range []bool{false, true} {
-				name := fmt.Sprintf("2-state/%s/kernel workers=%d rescan=%v", gc.name, workers, rescan)
-				opts := []Option{WithSeed(77), WithLocalTimes(), WithWorkers(workers)}
-				if rescan {
-					opts = append(opts, WithFullRescan())
-				}
-				p := NewTwoState(gc.g, opts...)
-				if res := Run(p, cap); res != scalRes {
-					t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
-				}
-				for u := 0; u < gc.g.N(); u++ {
-					if p.Black(u) != scal.Black(u) {
-						t.Fatalf("%s: color of %d diverged", name, u)
+	for _, pr := range procs {
+		for _, gc := range graphs {
+			cap := 4 * DefaultRoundCap(gc.g.N())
+			scal := pr.mk(gc.g, WithSeed(77), WithLocalTimes(), WithScalarEngine())
+			scalRes := Run(scal, cap)
+			if !scalRes.Stabilized {
+				t.Fatalf("%s/%s: scalar run did not stabilize", pr.name, gc.name)
+			}
+			scalTimes := scal.(timed).StabilizationTimes()
+			for _, workers := range []int{1, 2, 8} {
+				for _, rescan := range []bool{false, true} {
+					name := fmt.Sprintf("%s/%s/kernel workers=%d rescan=%v", pr.name, gc.name, workers, rescan)
+					opts := []Option{WithSeed(77), WithLocalTimes(), WithWorkers(workers)}
+					if rescan {
+						opts = append(opts, WithFullRescan())
 					}
-				}
-				for u, st := range scalTimes {
-					if pt := p.StabilizationTimes()[u]; pt != st {
-						t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, pt, st)
+					p := pr.mk(gc.g, opts...)
+					if !kernelEngaged(p) {
+						t.Fatalf("%s: kernel did not engage", name)
+					}
+					if res := Run(p, cap); res != scalRes {
+						t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
+					}
+					for u := 0; u < gc.g.N(); u++ {
+						if p.Black(u) != scal.Black(u) {
+							t.Fatalf("%s: color of %d diverged", name, u)
+						}
+					}
+					for u, st := range scalTimes {
+						if pt := p.(timed).StabilizationTimes()[u]; pt != st {
+							t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, pt, st)
+						}
 					}
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssmis/internal/engine"
+	"ssmis/internal/engine/kernel"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
@@ -89,6 +90,39 @@ func (r threeStateRule) Evaluate(u int, s uint8, a, b int32, d *engine.Draw) uin
 	// Touched but not active: black0 with a black1 neighbor demotes.
 	return uint8(TriWhite)
 }
+
+// threeStateProg is Definition 5 as a compiled lane program. The encoding
+// follows the kernel contract — lo is the black projection, so black0 is
+// code 1 and black1 (the only ClassB state) is code 3 — and the hasBNbr
+// lane carries "has a black1 neighbor", maintained incrementally from
+// counter B's zero crossings (the black1→black0 demotion is its db = −1
+// step). An active vertex's coin picks black1/black0; a black0 vertex that
+// hears a black1 neighbor is touched-but-not-active and demotes to white
+// with no coin, exactly as the scalar Evaluate above.
+var threeStateProg = kernel.MustCompile(kernel.Spec{
+	StateOf: [4]uint8{uint8(TriWhite), uint8(TriBlack0), 0, uint8(TriBlack1)},
+	UseB:    true,
+	Active: kernel.TruthTable(func(code int, a, b bool) bool {
+		switch code {
+		case 3: // black1
+			return true
+		case 1: // black0
+			return !b
+		default: // white (code 2 unused; mirroring white minimizes best)
+			return !a
+		}
+	}),
+	Touched: kernel.TruthTable(func(code int, a, _ bool) bool {
+		return code&1 == 1 || !a
+	}),
+	CoinHi:    [4]uint8{3, 3, 3, 3},
+	CoinLo:    [4]uint8{1, 1, 1, 1},
+	ForcedOn:  [4]uint8{0, 0, 0, 0},
+	ForcedOff: [4]uint8{0, 0, 0, 0},
+})
+
+// LaneProgram marks the rule for the engine's bit-sliced kernel.
+func (threeStateRule) LaneProgram() *kernel.Program { return threeStateProg }
 
 // ThreeState is the paper's 3-state MIS process (Definition 5), a thin rule
 // over the shared frontier engine. Stable black vertices alternate between

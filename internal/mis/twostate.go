@@ -2,6 +2,7 @@ package mis
 
 import (
 	"ssmis/internal/engine"
+	"ssmis/internal/engine/kernel"
 	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
@@ -46,10 +47,25 @@ func (twoStateRule) Evaluate(u int, _ uint8, _, _ int32, d *engine.Draw) uint8 {
 	return twoWhite
 }
 
-// KernelStates marks the rule for the engine's bit-sliced kernel: its
-// activity predicate is exactly ¬(black ⊕ hasBlackNbr), so the engine
+// twoStateProg is Definition 4 as a compiled lane program: codes {white,
+// black}, activity ¬(black ⊕ hasBlackNbr), and the coin as the next state —
+// the canonical shape the kernel's XOR-flip fast path recognizes. Compiled
+// once; shared by every engine.
+var twoStateProg = kernel.MustCompile(kernel.Spec{
+	StateOf: [4]uint8{twoWhite, twoBlack, 0, 0},
+	Active: kernel.TruthTable(func(code int, a, _ bool) bool {
+		return (code&1 == 1) == a
+	}),
+	Touched: kernel.TruthTable(func(code int, a, _ bool) bool {
+		return (code&1 == 1) == a
+	}),
+	CoinHi: [4]uint8{1, 1, 0, 0},
+	CoinLo: [4]uint8{0, 0, 0, 0},
+})
+
+// LaneProgram marks the rule for the engine's bit-sliced kernel: the engine
 // evaluates 64 vertices per word unless WithScalarEngine opts out.
-func (twoStateRule) KernelStates() (white, black uint8) { return twoWhite, twoBlack }
+func (twoStateRule) LaneProgram() *kernel.Program { return twoStateProg }
 
 // TwoState is the paper's 2-state MIS process (Definition 4). Each vertex is
 // black or white; in every round, each active vertex — black with a black

@@ -161,6 +161,70 @@ func (c *Clock) RandomizeLevels(rng *xrand.Rand) {
 // On reports the switch value of u: on iff level(u) <= onMax.
 func (c *Clock) On(u int) bool { return c.levels[u] <= c.onMax }
 
+// ExportOn packs the switch values into dst, bit u set iff On(u), 64
+// vertices per word in vertex order; bits beyond the universe are left
+// zero. This is the word-granular export the engine's bit-sliced kernel
+// reads as its gate lane — it runs every round of a kernel-path 3-color
+// execution, so the levels are compared eight at a time: a borrow-free
+// SWAR byte-less-than over each uint64 of levels (per byte b ≤ 127 and
+// threshold t ≤ 128, (b|0x80) − t never borrows across bytes and its high
+// bit is clear exactly when b < t), then a multiply-movemask gathers the
+// eight flag bits in vertex order. A clock deep enough to break the ≤ 127
+// domain (D ≥ 126; the paper's switch has D = 3) takes the byte loop.
+// dst must have ⌈n/64⌉ words.
+func (c *Clock) ExportOn(dst []uint64) {
+	n := len(c.levels)
+	if len(dst) != (n+63)/64 {
+		panic(fmt.Sprintf("phaseclock: ExportOn into %d words for %d vertices", len(dst), n))
+	}
+	if c.Top() > 127 || c.onMax >= 127 {
+		c.exportOnBytes(dst, 0)
+		return
+	}
+	const (
+		ones = 0x0101010101010101
+		high = 0x8080808080808080
+		mov  = 0x0102040810204080 // gathers the eight >>7 flag bits, in order
+	)
+	thr := uint64(c.onMax+1) * ones
+	full := n / 64 // words whose 64 levels all exist
+	for wi := 0; wi < full; wi++ {
+		var w uint64
+		for k := 0; k < 8; k++ {
+			b := c.levels[wi*64+k*8:]
+			x := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+			lt := ^((x | high) - thr) & high
+			w |= (lt >> 7 * mov >> 56) << (k * 8)
+		}
+		dst[wi] = w
+	}
+	if full < len(dst) {
+		dst[full] = 0
+		c.exportOnBytes(dst, full)
+	}
+}
+
+// exportOnBytes is the byte-at-a-time ExportOn over words [fromWord, ...) —
+// the SWAR path's tail, and the whole export for out-of-domain clocks.
+func (c *Clock) exportOnBytes(dst []uint64, fromWord int) {
+	n := len(c.levels)
+	for wi := fromWord; wi < len(dst); wi++ {
+		base := wi * 64
+		hi := base + 64
+		if hi > n {
+			hi = n
+		}
+		var w uint64
+		for u := base; u < hi; u++ {
+			if c.levels[u] <= c.onMax {
+				w |= 1 << uint(u-base)
+			}
+		}
+		dst[wi] = w
+	}
+}
+
 // Step advances the clock one synchronous round. rngAt(u) must return the
 // random stream of vertex u; it is consulted only for vertices at the top
 // level, in increasing vertex order.

@@ -114,9 +114,10 @@ func WithLocalTimes() Option { return mis.WithLocalTimes() }
 // engine. Negative k panics.
 func WithWorkers(k int) Option { return mis.WithWorkers(k) }
 
-// WithScalarEngine opts the 2-state process out of the engine's bit-sliced
-// kernel, forcing the per-vertex interface path. The two paths are
-// coin-for-coin bit-identical; this is a diagnostic/benchmark knob.
+// WithScalarEngine opts a process out of the engine's bit-sliced kernel
+// (all three processes auto-select it), forcing the per-vertex interface
+// path. The two paths are coin-for-coin bit-identical; this is a
+// diagnostic/benchmark knob.
 func WithScalarEngine() Option { return mis.WithScalarEngine() }
 
 // ToggleEdge returns a copy of g with edge {u,v} added if absent, removed
