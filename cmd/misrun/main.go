@@ -104,6 +104,13 @@ func run() int {
 	)
 	flag.Parse()
 
+	// The engine validates WithWorkers < 0 loudly; the pool's 0 = GOMAXPROCS
+	// convention must not swallow negative typos (-workers -3) silently.
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "misrun: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
+		return 2
+	}
+
 	g, err := buildGraph(*graphKind, *inPath, *n, *p, *degree, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misrun:", err)

@@ -1,11 +1,38 @@
 package main
 
 import (
+	"os"
+	"os/exec"
+	"strings"
 	"testing"
 
 	"ssmis/internal/graph"
 	"ssmis/internal/mis"
 )
+
+// TestNegativeWorkersRejected drives the real flag path: the test binary
+// re-executes itself with MISRUN_ARGS set, and the child runs run() on
+// those arguments. A negative -workers must fail loudly at flag parsing
+// (exit 2) instead of being silently coerced to GOMAXPROCS by the pool.
+func TestNegativeWorkersRejected(t *testing.T) {
+	if args := os.Getenv("MISRUN_ARGS"); args != "" {
+		os.Args = append([]string{"misrun"}, strings.Fields(args)...)
+		os.Exit(run())
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestNegativeWorkersRejected")
+	cmd.Env = append(os.Environ(), "MISRUN_ARGS=-graph clique -n 8 -workers -3")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error for -workers -3, got err=%v output=%q", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2; output: %q", code, out)
+	}
+	if !strings.Contains(string(out), "-workers must be >= 0") {
+		t.Fatalf("missing diagnostic in output: %q", out)
+	}
+}
 
 func TestBuildGraphFamilies(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runSelf re-executes the test binary with MISSWEEP_ARGS set so the child
+// process runs run() on the given command line (the real flag path).
+func runSelf(t *testing.T, args string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestWorkersFlagValidation")
+	cmd.Env = append(os.Environ(), "MISSWEEP_ARGS="+args)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("re-exec %q: %v; output: %q", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestWorkersFlagValidation checks that a negative -workers is rejected at
+// flag parsing with a clear diagnostic (exit 2) — previously the pool
+// silently coerced it to GOMAXPROCS — while 0 and positive values still
+// work.
+func TestWorkersFlagValidation(t *testing.T) {
+	if args := os.Getenv("MISSWEEP_ARGS"); args != "" {
+		os.Args = append([]string{"missweep"}, strings.Fields(args)...)
+		os.Exit(run())
+	}
+	code, out := runSelf(t, "-list -workers -2")
+	if code != 2 {
+		t.Fatalf("-workers -2 exit code = %d, want 2; output: %q", code, out)
+	}
+	if !strings.Contains(out, "-workers must be >= 0") {
+		t.Fatalf("missing diagnostic in output: %q", out)
+	}
+	if code, out = runSelf(t, "-list -workers 2"); code != 0 {
+		t.Fatalf("-workers 2 exit code = %d, want 0; output: %q", code, out)
+	}
+}

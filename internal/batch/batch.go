@@ -195,10 +195,15 @@ type Pool struct {
 	steals uint64 // successful steals (scheduler introspection / tests)
 }
 
-// NewPool starts a pool with the given number of workers (<= 0 selects
-// GOMAXPROCS).
+// NewPool starts a pool with the given number of workers (0 selects
+// GOMAXPROCS). A negative count panics, matching the engine's loud
+// WithWorkers validation — it used to be silently coerced to GOMAXPROCS,
+// which let CLI typos like `-workers -3` pass unnoticed.
 func NewPool(workers int) *Pool {
-	if workers <= 0 {
+	if workers < 0 {
+		panic(fmt.Sprintf("batch: negative worker count %d", workers))
+	}
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{}

@@ -247,6 +247,17 @@ func TestRecordJournalsEveryDelivery(t *testing.T) {
 }
 
 // Replay prefixes longer than the batch are a caller bug and must panic.
+// A negative worker count is a caller bug (the engine's WithWorkers panics
+// on it too); it must not be silently coerced to GOMAXPROCS.
+func TestNegativeWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(-1) did not panic")
+		}
+	}()
+	NewPool(-1)
+}
+
 func TestReplayPrefixTooLongPanics(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()

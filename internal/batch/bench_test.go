@@ -391,17 +391,29 @@ func TestRecordBatchBench(t *testing.T) {
 	oldBest := measure(runSweepOld)
 	batchBest := measure(runSweepBatch)
 
+	// The regression gate CI enforces (speedup >= gate) is recorded next to
+	// the measurement so the workflow never hard-codes a core-count
+	// assumption: on a single-CPU runner the win comes from context
+	// amortization and shared builds alone and shared-runner noise is
+	// proportionally larger (gate 0.9); with real parallelism cross-cell
+	// stealing must additionally never lose to per-cell pools (gate 1.0).
+	gate := 0.9
+	if runtime.GOMAXPROCS(0) > 1 {
+		gate = 1.0
+	}
+
 	type row struct {
 		Name       string  `json:"name"`
 		NsPerSweep int64   `json:"ns_per_sweep"`
 		RunsPerSec float64 `json:"runs_per_sec"`
 	}
 	report := map[string]any{
-		"description": "Work-stealing batch scheduler vs the pre-batch per-cell worker pools on the acceptance workload: a mixed sweep of 32 small cells (8 caterpillar, 8 grid, 6 path — the E4 deterministic families the old harness rebuilt per trial — plus 10 prebuilt cliques n=48..84) and 2 large cells (G(n=20000, avg10)), 2-state process, best of 3 sweeps. 'old_per_cell_pool' reconstructs the removed RunSeeds/runTrials model (pool per cell, per-trial builds of deterministic graphs, fresh allocations per run, slice aggregation); 'batch_pool' is internal/batch (one shared pool, per-worker run contexts, once-per-shard graph builds, streaming aggregation). On a 1-CPU container the speedup comes from context amortization and shared builds alone; multi-core adds cross-cell stealing. Regenerate with: BENCH_BATCH_OUT=$PWD/BENCH_batch.json go test -run TestRecordBatchBench ./internal/batch",
+		"description": "Work-stealing batch scheduler vs the pre-batch per-cell worker pools on the acceptance workload: a mixed sweep of 32 small cells (8 caterpillar, 8 grid, 6 path — the E4 deterministic families the old harness rebuilt per trial — plus 10 prebuilt cliques n=48..84) and 2 large cells (G(n=20000, avg10)), 2-state process, best of 3 sweeps. 'old_per_cell_pool' reconstructs the removed RunSeeds/runTrials model (pool per cell, per-trial builds of deterministic graphs, fresh allocations per run, slice aggregation); 'batch_pool' is internal/batch (one shared pool, per-worker run contexts, once-per-shard graph builds, streaming aggregation). On a 1-CPU container the speedup comes from context amortization and shared builds alone; multi-core adds cross-cell stealing. The 'gate' field is the core-count-aware regression threshold CI enforces (0.9 at GOMAXPROCS=1 to absorb shared-runner noise, 1.0 with real parallelism). Regenerate with: BENCH_BATCH_OUT=$PWD/BENCH_batch.json go test -run TestRecordBatchBench ./internal/batch",
 		"environment": map[string]any{
 			"goos":         runtime.GOOS,
 			"goarch":       runtime.GOARCH,
 			"logical_cpus": runtime.NumCPU(),
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
 			"go":           runtime.Version(),
 			"workers":      workers,
 			"jobs":         jobs,
@@ -413,6 +425,7 @@ func TestRecordBatchBench(t *testing.T) {
 				RunsPerSec: float64(jobs) / batchBest.Seconds()},
 		},
 		"speedup": float64(oldBest.Nanoseconds()) / float64(batchBest.Nanoseconds()),
+		"gate":    gate,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

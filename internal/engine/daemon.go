@@ -27,6 +27,7 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"ssmis/internal/sched"
 	"ssmis/internal/xrand"
@@ -58,20 +59,30 @@ func (e *Core) DaemonStep(d sched.Daemon, rng *xrand.Rand) bool {
 	if _, ok := e.rule.(MidRound); ok {
 		panic(fmt.Sprintf("engine: rule %T has a synchronous sub-process; daemon scheduling unsupported", e.rule))
 	}
+	// The privileged set is presented to the daemon in ORIGINAL vertex ids:
+	// under a locality relabeling (Options.Order) the worklist iterates in
+	// relabeled order, so the collected ids are mapped back and re-sorted —
+	// the daemon sees the exact set, order, and ids of the identity-ordered
+	// run, which keeps its selection coins and history bit-identical.
+	ord := e.opts.Order
 	e.priv = e.priv[:0]
 	e.work.ForEachWord(func(base int, w uint64) {
 		for ; w != 0; w &= w - 1 {
 			if u := base + bits.TrailingZeros64(w); !e.inI.Contains(u) {
-				e.priv = append(e.priv, u)
+				e.priv = append(e.priv, ord.OldID(u))
 			}
 		}
 	})
 	if len(e.priv) == 0 {
 		return false
 	}
+	if ord != nil {
+		sort.Ints(e.priv)
+	}
 	selected := d.Select(e.priv, rng)
 	e.changes = e.changes[:0]
-	for _, u := range selected {
+	for _, su := range selected {
+		u := ord.NewID(su)
 		s := e.state[u]
 		ns := e.rule.Evaluate(u, s, e.countA(u), e.countB(u), &e.draw)
 		e.moves++

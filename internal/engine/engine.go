@@ -107,6 +107,17 @@ type Options struct {
 	// bit-identical; the scalar engine is the golden reference the kernel is
 	// differentially pinned against.
 	Scalar bool
+	// Order, when non-nil, declares that the graph handed to New is a
+	// locality relabeling (graph.Ordering) of the caller's original graph,
+	// with the initial state and per-vertex streams already permuted to
+	// match. The engine itself never permutes anything — its lanes, counters,
+	// bitsets, and dirty words simply run in relabeled space — but it uses
+	// the maps at the two boundaries it owns: daemon selections are presented
+	// to the scheduler in original ids, and checkpoints (internal/snapshot)
+	// capture streams and coverage stamps keyed by original ids. Because
+	// every vertex draws coins from its own stream, a relabeled execution is
+	// coin-for-coin identical to the identity-ordered one after id mapping.
+	Order *graph.Ordering
 }
 
 // Draw hands process coins to Rule.Evaluate. Each worker owns one, so bit
@@ -196,6 +207,10 @@ func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Op
 	if opts.Workers < 0 {
 		panic(fmt.Sprintf("engine: negative worker count %d", opts.Workers))
 	}
+	if opts.Order != nil && len(opts.Order.Perm) != n {
+		panic(fmt.Sprintf("engine: ordering over %d vertices for graph order %d",
+			len(opts.Order.Perm), n))
+	}
 	e := &Core{
 		g:     g,
 		rule:  rule,
@@ -229,8 +244,13 @@ func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Op
 	return e
 }
 
-// Graph returns the underlying graph.
+// Graph returns the underlying graph (the relabeled one when an Order is
+// set — the engine only ever sees relabeled space).
 func (e *Core) Graph() *graph.Graph { return e.g }
+
+// Order returns the locality relabeling the engine was constructed under,
+// or nil for the identity ordering.
+func (e *Core) Order() *graph.Ordering { return e.opts.Order }
 
 // Round returns the number of completed rounds.
 func (e *Core) Round() int { return e.round }
@@ -535,6 +555,23 @@ func (e *Core) Rebind(g *graph.Graph) {
 	}
 	e.g = g
 	e.Rebuild()
+}
+
+// RebindOrdered is Rebind for an engine running under a locality relabeling:
+// ord must hold the same permutation re-applied to the new graph
+// (graph.Ordering.Rebind), and the engine switches to ord.G. It panics if
+// the engine was constructed without an ordering or the permutation length
+// changed.
+func (e *Core) RebindOrdered(ord *graph.Ordering) {
+	if e.opts.Order == nil {
+		panic("engine: RebindOrdered on an engine without an ordering")
+	}
+	if len(ord.Perm) != e.g.N() {
+		panic(fmt.Sprintf("engine: RebindOrdered with ordering over %d vertices for graph order %d",
+			len(ord.Perm), e.g.N()))
+	}
+	e.opts.Order = ord
+	e.Rebind(ord.G)
 }
 
 // CheckIntegrity recomputes every incremental structure from scratch and

@@ -6,8 +6,11 @@ package engine
 // regardless of goroutine scheduling. The universe is partitioned into
 // word-aligned vertex ranges (partitionRange); workers evaluate their
 // ranges of the worklist against the frozen pre-round state, then commit
-// their change lists with atomic counter updates and atomic dirty-bit
-// insertion. The membership refresh that follows the commit uses the same
+// their change lists with atomic counter updates and atomic dirty
+// insertion — per vertex on the scalar path, per lane word on the kernel
+// path, whose refresh re-derives whole words anyway (the word-index set is
+// 64x smaller, so the commit's random marking stays cache-resident). The
+// membership refresh that follows the commit uses the same
 // partition (refresh.go): its cost is O(|dirty|) only on frontier rounds —
 // under FullRescan, on the complete-graph fast path, and on high-churn
 // rounds it is O(n), which is why it is partitioned and parallel too

@@ -14,6 +14,7 @@ package engine
 import (
 	"ssmis/internal/bitset"
 	"ssmis/internal/engine/kernel"
+	"ssmis/internal/graph"
 	"ssmis/internal/xrand"
 )
 
@@ -46,6 +47,28 @@ type RunContext struct {
 	// clockA/clockB back a rule's phase-clock level arrays (the 3-color
 	// switch), leased through ClockBufs.
 	clockA, clockB []uint8
+
+	// Locality-ordering memo: batch shards run thousands of seeds over one
+	// shared graph, and the degree-bucketed ordering is a pure function of
+	// the graph, so it is computed once per (context, graph) pair. ordG is
+	// the key; ord may be nil (the computed order was the identity).
+	ordG *graph.Graph
+	ord  *graph.Ordering
+}
+
+// CachedOrdering returns the memoized locality ordering for g and whether
+// one has been stored (the stored ordering itself may be nil: identity).
+func (c *RunContext) CachedOrdering(g *graph.Graph) (*graph.Ordering, bool) {
+	if c.ordG == g {
+		return c.ord, true
+	}
+	return nil, false
+}
+
+// StoreOrdering memoizes the locality ordering computed for g.
+func (c *RunContext) StoreOrdering(g *graph.Graph, ord *graph.Ordering) {
+	c.ordG = g
+	c.ord = ord
 }
 
 // NewRunContext returns an empty context; buffers grow on first lease and
@@ -123,6 +146,14 @@ func (c *RunContext) BoolBuf(n int) []bool {
 // master.Split(u) for each vertex u — the allocation-free counterpart of
 // splitting n fresh streams per run.
 func (c *RunContext) VertexStreams(n int, master *xrand.Rand) []*xrand.Rand {
+	return c.VertexStreamsPerm(n, master, nil)
+}
+
+// VertexStreamsPerm is VertexStreams under a locality relabeling: the stream
+// of original vertex u (always master.Split(u) — stream identity is keyed by
+// original ids) lands at slot ord.NewID(u), where the relabeled engine looks
+// it up. A nil ordering is the identity.
+func (c *RunContext) VertexStreamsPerm(n int, master *xrand.Rand, ord *graph.Ordering) []*xrand.Rand {
 	if cap(c.rands) < n {
 		c.rands = make([]xrand.Rand, n)
 		c.rngs = make([]*xrand.Rand, n)
@@ -130,8 +161,9 @@ func (c *RunContext) VertexStreams(n int, master *xrand.Rand) []*xrand.Rand {
 	c.rands = c.rands[:n]
 	c.rngs = c.rngs[:n]
 	for u := 0; u < n; u++ {
-		master.SplitInto(&c.rands[u], uint64(u))
-		c.rngs[u] = &c.rands[u]
+		i := ord.NewID(u)
+		master.SplitInto(&c.rands[i], uint64(u))
+		c.rngs[i] = &c.rands[i]
 	}
 	return c.rngs
 }

@@ -47,15 +47,28 @@ type Config struct {
 	// tables must not change — the CI kernel-vs-scalar sweep smoke compares
 	// them byte for byte.
 	ScalarEngine bool
+	// IdentityOrder opts every process out of the locality relabeling the
+	// kernel path auto-selects on large graphs (the missweep -identity-order
+	// flag). Relabeled runs are graph isomorphisms of identity-ordered ones,
+	// so the tables must not change — the CI relabel sweep smoke compares
+	// them byte for byte.
+	IdentityOrder bool
 }
 
-// procOpts prepends the configuration-level process options (currently the
-// scalar-engine switch) to a cell's own options.
+// procOpts prepends the configuration-level process options (the
+// scalar-engine and identity-order switches) to a cell's own options.
 func (c Config) procOpts(opts ...mis.Option) []mis.Option {
+	var pre []mis.Option
 	if c.ScalarEngine {
-		return append([]mis.Option{mis.WithScalarEngine()}, opts...)
+		pre = append(pre, mis.WithScalarEngine())
 	}
-	return opts
+	if c.IdentityOrder {
+		pre = append(pre, mis.WithIdentityOrder())
+	}
+	if len(pre) == 0 {
+		return opts
+	}
+	return append(pre, opts...)
 }
 
 // CellLog accumulates per-cell wall-time measurements; safe for concurrent

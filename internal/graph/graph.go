@@ -89,12 +89,13 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
 }
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate edges
-// and self-loops are rejected at Build time (self-loops immediately).
-// The zero value is unusable; create with NewBuilder.
+// Builder accumulates edges and produces an immutable Graph. Self-loops are
+// rejected immediately by AddEdge; duplicate edges are tolerated and
+// deduplicated by Build. The zero value is unusable; create with NewBuilder.
 type Builder struct {
-	n     int
-	edges [][2]int32
+	n      int
+	edges  [][2]int32
+	sorted int // leading edges already sorted and deduplicated by a prior Build
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -125,22 +126,12 @@ func (b *Builder) AddEdge(u, v int) {
 }
 
 // Build produces the immutable CSR graph. The builder remains usable (more
-// edges may be added and Build called again).
+// edges may be added and Build called again); the retained edge list stays
+// sorted and deduplicated across calls, so a repeat Build only sorts the
+// edges appended since the previous one and merges them in — O(k log k + m)
+// for k new edges instead of re-sorting all m.
 func (b *Builder) Build() *Graph {
-	// Sort and deduplicate the (u < v) edge list.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	dedup := b.edges[:0]
-	for i, e := range b.edges {
-		if i == 0 || e != b.edges[i-1] {
-			dedup = append(dedup, e)
-		}
-	}
-	b.edges = dedup
+	b.normalize()
 
 	deg := make([]int, b.n)
 	for _, e := range b.edges {
@@ -173,6 +164,63 @@ func (b *Builder) Build() *Graph {
 		}
 	}
 	return &Graph{offsets: offsets, adj: adj}
+}
+
+// normalize brings b.edges to sorted, deduplicated form. Edges up to
+// b.sorted are already normalized by the previous Build; only the appended
+// suffix is sorted, then the two sorted runs are merged with duplicates
+// dropped. A Build with nothing appended does no sorting at all.
+func (b *Builder) normalize() {
+	if len(b.edges) == b.sorted {
+		return
+	}
+	edgeLess := func(a, c [2]int32) bool {
+		if a[0] != c[0] {
+			return a[0] < c[0]
+		}
+		return a[1] < c[1]
+	}
+	tail := b.edges[b.sorted:]
+	sort.Slice(tail, func(i, j int) bool { return edgeLess(tail[i], tail[j]) })
+	if b.sorted == 0 {
+		// First build: just drop adjacent duplicates in place.
+		dedup := b.edges[:0]
+		for i, e := range b.edges {
+			if i == 0 || e != b.edges[i-1] {
+				dedup = append(dedup, e)
+			}
+		}
+		b.edges = dedup
+		b.sorted = len(b.edges)
+		return
+	}
+	// Merge the normalized prefix with the sorted tail, dropping duplicates
+	// within the tail and against the prefix.
+	head := b.edges[:b.sorted]
+	merged := make([][2]int32, 0, len(b.edges))
+	i, j := 0, 0
+	for i < len(head) && j < len(tail) {
+		switch {
+		case head[i] == tail[j]:
+			j++
+		case edgeLess(head[i], tail[j]):
+			merged = append(merged, head[i])
+			i++
+		default:
+			if len(merged) == 0 || merged[len(merged)-1] != tail[j] {
+				merged = append(merged, tail[j])
+			}
+			j++
+		}
+	}
+	merged = append(merged, head[i:]...)
+	for ; j < len(tail); j++ {
+		if len(merged) == 0 || merged[len(merged)-1] != tail[j] {
+			merged = append(merged, tail[j])
+		}
+	}
+	b.edges = merged
+	b.sorted = len(b.edges)
 }
 
 func int32sSorted(s []int32) bool {

@@ -30,11 +30,13 @@ import (
 // envelope; DecodeCheckpoint validates and unwraps.
 type Checkpoint = snapshot.Process
 
-// newRestoredClock rebuilds the 3-color switch from checkpointed levels.
-func newRestoredClock(g *graph.Graph, c *Checkpoint) *phaseclock.Clock {
-	cl := phaseclock.New(g, phaseclock.WithZetaLog2(c.ZetaLog2))
+// newRestoredClock rebuilds the 3-color switch from checkpointed levels
+// (stored in original vertex ids) on the engine's — possibly relabeled —
+// graph.
+func newRestoredClock(eg *graph.Graph, c *Checkpoint, ord *graph.Ordering) *phaseclock.Clock {
+	cl := phaseclock.New(eg, phaseclock.WithZetaLog2(c.ZetaLog2))
 	for u, l := range c.Levels {
-		cl.SetLevel(u, l)
+		cl.SetLevel(ord.NewID(u), l)
 	}
 	cl.SetRandomBits(c.ClockBits)
 	return cl
@@ -91,12 +93,14 @@ func restoreOptions(c *Checkpoint, opts []Option) (options, error) {
 	return o, nil
 }
 
-// restoreCore assembles an engine over restored state and replays the
-// checkpointed accounting (round/bits, daemon steps/moves, coverage
-// stamps) into it; the returned stream resumes daemon scheduling
-// coin-for-coin (nil when the checkpoint carries none).
-func restoreCore(g *graph.Graph, rule engine.Rule, state []uint8, rngs []*xrand.Rand, o options, noop bool, c *Checkpoint) (*engine.Core, *xrand.Rand, error) {
-	core := engine.New(g, rule, state, rngs, o.engine(noop))
+// restoreCore assembles an engine over restored state (already permuted
+// into ord's space by the caller) and replays the checkpointed accounting
+// (round/bits, daemon steps/moves, coverage stamps) into it; the returned
+// stream resumes daemon scheduling coin-for-coin (nil when the checkpoint
+// carries none). Checkpoints are keyed by original ids, so a run saved
+// under one ordering restores under any other.
+func restoreCore(g *graph.Graph, ord *graph.Ordering, rule engine.Rule, state []uint8, rngs []*xrand.Rand, o options, noop bool, c *Checkpoint) (*engine.Core, *xrand.Rand, error) {
+	core := engine.New(engineGraph(g, ord), rule, state, rngs, o.engine(noop, ord))
 	schedRng, err := c.RestoreEngine(core)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mis: %w", err)
@@ -112,9 +116,9 @@ func (p *TwoState) Checkpoint() (*Checkpoint, error) {
 	}
 	engineStates := p.core.States()
 	states := make([]uint8, len(engineStates))
-	for u, s := range engineStates {
+	for i, s := range engineStates {
 		if s == twoBlack {
-			states[u] = 1
+			states[p.ord.OldID(i)] = 1
 		}
 	}
 	c.Process = "2-state"
@@ -140,18 +144,20 @@ func RestoreTwoState(g *graph.Graph, c *Checkpoint, opts ...Option) (*TwoState, 
 	if err != nil {
 		return nil, err
 	}
+	ord := orderingFor(g, o)
 	state := make([]uint8, g.N())
 	for u, s := range c.States {
-		state[u] = twoWhite
+		ns := twoWhite
 		if s == 1 {
-			state[u] = twoBlack
+			ns = twoBlack
 		}
+		state[ord.NewID(u)] = ns
 	}
-	core, schedRng, err := restoreCore(g, twoStateRule{}, state, rngs, o, true, c)
+	core, schedRng, err := restoreCore(g, ord, twoStateRule{}, state, permuteRngs(ord, rngs), o, true, c)
 	if err != nil {
 		return nil, err
 	}
-	return &TwoState{core: core, opts: o, schedRng: schedRng}, nil
+	return &TwoState{core: core, opts: o, g: g, ord: ord, schedRng: schedRng}, nil
 }
 
 // Checkpoint snapshots the 3-state process.
@@ -161,7 +167,7 @@ func (p *ThreeState) Checkpoint() (*Checkpoint, error) {
 		return nil, err
 	}
 	c.Process = "3-state"
-	c.States = append([]uint8(nil), p.core.States()...)
+	c.States = unpermuteU8(p.ord, p.core.States())
 	return c, nil
 }
 
@@ -181,20 +187,21 @@ func RestoreThreeState(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeSta
 	if err != nil {
 		return nil, err
 	}
+	ord := orderingFor(g, o)
 	state := make([]uint8, g.N())
 	for u, s := range c.States {
 		switch TriState(s) {
 		case TriWhite, TriBlack0, TriBlack1:
-			state[u] = s
+			state[ord.NewID(u)] = s
 		default:
 			return nil, fmt.Errorf("mis: invalid 3-state value %d at vertex %d", s, u)
 		}
 	}
-	core, schedRng, err := restoreCore(g, threeStateRule{}, state, rngs, o, false, c)
+	core, schedRng, err := restoreCore(g, ord, threeStateRule{}, state, permuteRngs(ord, rngs), o, false, c)
 	if err != nil {
 		return nil, err
 	}
-	return &ThreeState{core: core, opts: o, schedRng: schedRng}, nil
+	return &ThreeState{core: core, opts: o, g: g, ord: ord, schedRng: schedRng}, nil
 }
 
 // Checkpoint snapshots the 3-color process, including its switch.
@@ -205,11 +212,11 @@ func (p *ThreeColor) Checkpoint() (*Checkpoint, error) {
 	}
 	n := p.N()
 	levels := make([]uint8, n)
-	for u := 0; u < n; u++ {
-		levels[u] = p.rule.clock.Level(u)
+	for i := 0; i < n; i++ {
+		levels[p.ord.OldID(i)] = p.rule.clock.Level(i)
 	}
 	c.Process = "3-color"
-	c.States = append([]uint8(nil), p.core.States()...)
+	c.States = unpermuteU8(p.ord, p.core.States())
 	c.Levels = levels
 	c.ClockBits = p.rule.clock.RandomBits()
 	c.ZetaLog2 = p.opts.switchZetaLog2
@@ -237,19 +244,21 @@ func RestoreThreeColor(g *graph.Graph, c *Checkpoint, opts ...Option) (*ThreeCol
 	if o.switchZetaLog2 == 0 || o.switchZetaLog2 > 64 {
 		return nil, fmt.Errorf("mis: checkpoint switch parameter k = %d outside [1, 64]", c.ZetaLog2)
 	}
+	ord := orderingFor(g, o)
 	state := make([]uint8, n)
 	for u, s := range c.States {
 		switch Color(s) {
 		case ColorWhite, ColorBlack, ColorGray:
-			state[u] = s
+			state[ord.NewID(u)] = s
 		default:
 			return nil, fmt.Errorf("mis: invalid color value %d at vertex %d", s, u)
 		}
 	}
-	rule := &threeColorRule{clock: newRestoredClock(g, c), rngs: rngs}
-	core, _, err := restoreCore(g, rule, state, rngs, o, false, c)
+	engineRngs := permuteRngs(ord, rngs)
+	rule := &threeColorRule{clock: newRestoredClock(engineGraph(g, ord), c, ord), rngs: engineRngs}
+	core, _, err := restoreCore(g, ord, rule, state, engineRngs, o, false, c)
 	if err != nil {
 		return nil, err
 	}
-	return &ThreeColor{core: core, rule: rule, opts: o}, nil
+	return &ThreeColor{core: core, rule: rule, opts: o, g: g, ord: ord}, nil
 }

@@ -65,40 +65,49 @@ func TestKernelLockstepMatrix(t *testing.T) {
 			}
 			for _, workers := range []int{1, 2, 8} {
 				for _, rescan := range []bool{false, true} {
-					name := fmt.Sprintf("%s/%s/workers=%d rescan=%v", pr.name, gc.name, workers, rescan)
-					opts := []Option{WithSeed(99), WithLocalTimes(), WithWorkers(workers)}
-					if rescan {
-						opts = append(opts, WithFullRescan())
-					}
-					kern := pr.mk(gc.g, opts...)
-					if !kernelEngaged(kern) {
-						t.Fatalf("%s: kernel did not engage", name)
-					}
-					// Round-by-round, against a fresh scalar twin, so a
-					// divergence is pinned to the exact round it appears.
-					twin := pr.mk(gc.g, WithSeed(99), WithLocalTimes(), WithScalarEngine())
-					for !kern.Stabilized() && kern.Round() < cap {
-						kern.Step()
-						twin.Step()
-						if kern.ActiveCount() != twin.ActiveCount() || kern.RandomBits() != twin.RandomBits() {
-							t.Fatalf("%s: round %d active/bits diverged (%d,%d) vs (%d,%d)",
-								name, kern.Round(), kern.ActiveCount(), kern.RandomBits(),
-								twin.ActiveCount(), twin.RandomBits())
+					// The relabel axis runs the kernel over the
+					// degree-bucketed locality ordering; it must replay the
+					// identity-ordered scalar reference just the same.
+					for _, relabel := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/workers=%d rescan=%v relabel=%v",
+							pr.name, gc.name, workers, rescan, relabel)
+						opts := []Option{WithSeed(99), WithLocalTimes(), WithWorkers(workers)}
+						if rescan {
+							opts = append(opts, WithFullRescan())
 						}
-						for u := 0; u < gc.g.N(); u++ {
-							if pr.stateOf(kern, u) != pr.stateOf(twin, u) {
-								t.Fatalf("%s: state of %d diverged at round %d", name, u, kern.Round())
+						if relabel {
+							opts = append(opts, WithDegreeOrder())
+						}
+						kern := pr.mk(gc.g, opts...)
+						if !kernelEngaged(kern) {
+							t.Fatalf("%s: kernel did not engage", name)
+						}
+						// Round-by-round, against a fresh scalar twin, so a
+						// divergence is pinned to the exact round it appears.
+						twin := pr.mk(gc.g, WithSeed(99), WithLocalTimes(), WithScalarEngine())
+						for !kern.Stabilized() && kern.Round() < cap {
+							kern.Step()
+							twin.Step()
+							if kern.ActiveCount() != twin.ActiveCount() || kern.RandomBits() != twin.RandomBits() {
+								t.Fatalf("%s: round %d active/bits diverged (%d,%d) vs (%d,%d)",
+									name, kern.Round(), kern.ActiveCount(), kern.RandomBits(),
+									twin.ActiveCount(), twin.RandomBits())
+							}
+							for u := 0; u < gc.g.N(); u++ {
+								if pr.stateOf(kern, u) != pr.stateOf(twin, u) {
+									t.Fatalf("%s: state of %d diverged at round %d", name, u, kern.Round())
+								}
 							}
 						}
-					}
-					if res := (Result{kern.Round(), kern.Stabilized(), kern.RandomBits()}); res != scalRes {
-						t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
-					}
-					type timed interface{ StabilizationTimes() []int }
-					kt := kern.(timed).StabilizationTimes()
-					for u, st := range scal.(timed).StabilizationTimes() {
-						if kt[u] != st {
-							t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, kt[u], st)
+						if res := (Result{kern.Round(), kern.Stabilized(), kern.RandomBits()}); res != scalRes {
+							t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
+						}
+						type timed interface{ StabilizationTimes() []int }
+						kt := kern.(timed).StabilizationTimes()
+						for u, st := range scal.(timed).StabilizationTimes() {
+							if kt[u] != st {
+								t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, kt[u], st)
+							}
 						}
 					}
 				}

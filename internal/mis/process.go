@@ -124,11 +124,15 @@ type options struct {
 	// scalar opts out of the engine's bit-sliced kernel (all three
 	// processes auto-select it otherwise).
 	scalar bool
+	// order selects the locality-relabeling policy (order.go): auto behind
+	// the kernel path, identity opt-out, or forced degree-bucketed.
+	order orderMode
 }
 
 // engine translates the option set into engine options; noopWhenIdle selects
-// the 2-state quiescence semantics for Step.
-func (o options) engine(noopWhenIdle bool) engine.Options {
+// the 2-state quiescence semantics for Step, ord the locality relabeling the
+// constructor resolved (nil = identity).
+func (o options) engine(noopWhenIdle bool, ord *graph.Ordering) engine.Options {
 	return engine.Options{
 		Bias:         o.blackBias,
 		Workers:      o.workers,
@@ -136,6 +140,7 @@ func (o options) engine(noopWhenIdle bool) engine.Options {
 		FullRescan:   o.fullRescan,
 		Ctx:          o.ctx,
 		Scalar:       o.scalar,
+		Order:        ord,
 	}
 }
 
@@ -286,12 +291,14 @@ func initialBlackMask(g *graph.Graph, o options, rng *xrand.Rand) []bool {
 }
 
 // splitVertexStreams derives the per-vertex random streams from the master
-// seed. Stream u is master.Split(u); the master's stream indices at and
-// above n are reserved for initialization and auxiliary draws. A run
-// context, when present, supplies the generator array allocation-free.
-func splitVertexStreams(n int, master *xrand.Rand, ctx *engine.RunContext) []*xrand.Rand {
+// seed. The stream of original vertex u is always master.Split(u) — stream
+// identity is keyed by original ids — and under a locality relabeling (ord
+// non-nil) it is seeded into slot ord.NewID(u), where the relabeled engine
+// indexes it. A run context, when present, supplies the generator array
+// allocation-free.
+func splitVertexStreams(n int, master *xrand.Rand, ctx *engine.RunContext, ord *graph.Ordering) []*xrand.Rand {
 	if ctx != nil {
-		return ctx.VertexStreams(n, master)
+		return ctx.VertexStreamsPerm(n, master, ord)
 	}
 	// One contiguous backing array instead of n individual allocations: at
 	// n=10^6 the per-vertex Splits used to be the bulk of construction's
@@ -299,9 +306,10 @@ func splitVertexStreams(n int, master *xrand.Rand, ctx *engine.RunContext) []*xr
 	// each slot exactly as Split would).
 	backing := make([]xrand.Rand, n)
 	rngs := make([]*xrand.Rand, n)
-	for u := range rngs {
-		master.SplitInto(&backing[u], uint64(u))
-		rngs[u] = &backing[u]
+	for u := 0; u < n; u++ {
+		i := ord.NewID(u)
+		master.SplitInto(&backing[i], uint64(u))
+		rngs[i] = &backing[i]
 	}
 	return rngs
 }

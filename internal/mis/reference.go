@@ -28,7 +28,7 @@ func NewRefTwoState(g *graph.Graph, seed uint64, initial []bool) *RefTwoState {
 	return &RefTwoState{
 		g:     g,
 		black: append([]bool(nil), initial...),
-		rngs:  splitVertexStreams(g.N(), master, nil),
+		rngs:  splitVertexStreams(g.N(), master, nil, nil),
 	}
 }
 
@@ -88,7 +88,7 @@ func NewRefThreeState(g *graph.Graph, seed uint64, initial []TriState) *RefThree
 	return &RefThreeState{
 		g:     g,
 		state: append([]TriState(nil), initial...),
-		rngs:  splitVertexStreams(g.N(), master, nil),
+		rngs:  splitVertexStreams(g.N(), master, nil, nil),
 	}
 }
 
@@ -149,7 +149,7 @@ func NewRefThreeColor(g *graph.Graph, seed uint64, colors []Color, levels []uint
 		g:     g,
 		color: append([]Color(nil), colors...),
 		level: append([]uint8(nil), levels...),
-		rngs:  splitVertexStreams(g.N(), master, nil),
+		rngs:  splitVertexStreams(g.N(), master, nil, nil),
 		zetaK: phaseclock.DefaultZetaLog2,
 	}
 }

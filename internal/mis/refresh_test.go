@@ -73,15 +73,17 @@ func TestRefreshDeterminismMatrix(t *testing.T) {
 		}
 	}
 
-	// Kernel-vs-scalar axis. All three processes above execute on the
-	// bit-sliced kernel (auto-selected); here the scalar interface path is
-	// forced as the golden reference and every kernel configuration —
-	// workers {1, 2, 8}, frontier and full-rescan — must reproduce it
-	// byte for byte: summaries, colors, and the coveredAt stamps.
+	// Kernel-vs-scalar and relabel axes. All three processes above execute
+	// on the bit-sliced kernel (auto-selected); here the scalar interface
+	// path in original vertex order is forced as the golden reference and
+	// every kernel configuration — workers {1, 2, 8}, frontier and
+	// full-rescan, with and without the degree-bucketed locality
+	// relabeling — must reproduce it byte for byte: summaries, colors, and
+	// the coveredAt stamps.
 	for _, pr := range procs {
 		for _, gc := range graphs {
 			cap := 4 * DefaultRoundCap(gc.g.N())
-			scal := pr.mk(gc.g, WithSeed(77), WithLocalTimes(), WithScalarEngine())
+			scal := pr.mk(gc.g, WithSeed(77), WithLocalTimes(), WithScalarEngine(), WithIdentityOrder())
 			scalRes := Run(scal, cap)
 			if !scalRes.Stabilized {
 				t.Fatalf("%s/%s: scalar run did not stabilize", pr.name, gc.name)
@@ -89,26 +91,34 @@ func TestRefreshDeterminismMatrix(t *testing.T) {
 			scalTimes := scal.(timed).StabilizationTimes()
 			for _, workers := range []int{1, 2, 8} {
 				for _, rescan := range []bool{false, true} {
-					name := fmt.Sprintf("%s/%s/kernel workers=%d rescan=%v", pr.name, gc.name, workers, rescan)
-					opts := []Option{WithSeed(77), WithLocalTimes(), WithWorkers(workers)}
-					if rescan {
-						opts = append(opts, WithFullRescan())
-					}
-					p := pr.mk(gc.g, opts...)
-					if !kernelEngaged(p) {
-						t.Fatalf("%s: kernel did not engage", name)
-					}
-					if res := Run(p, cap); res != scalRes {
-						t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
-					}
-					for u := 0; u < gc.g.N(); u++ {
-						if p.Black(u) != scal.Black(u) {
-							t.Fatalf("%s: color of %d diverged", name, u)
+					for _, relabel := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/kernel workers=%d rescan=%v relabel=%v",
+							pr.name, gc.name, workers, rescan, relabel)
+						opts := []Option{WithSeed(77), WithLocalTimes(), WithWorkers(workers)}
+						if rescan {
+							opts = append(opts, WithFullRescan())
 						}
-					}
-					for u, st := range scalTimes {
-						if pt := p.(timed).StabilizationTimes()[u]; pt != st {
-							t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, pt, st)
+						if relabel {
+							opts = append(opts, WithDegreeOrder())
+						} else {
+							opts = append(opts, WithIdentityOrder())
+						}
+						p := pr.mk(gc.g, opts...)
+						if !kernelEngaged(p) {
+							t.Fatalf("%s: kernel did not engage", name)
+						}
+						if res := Run(p, cap); res != scalRes {
+							t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
+						}
+						for u := 0; u < gc.g.N(); u++ {
+							if p.Black(u) != scal.Black(u) {
+								t.Fatalf("%s: color of %d diverged", name, u)
+							}
+						}
+						for u, st := range scalTimes {
+							if pt := p.(timed).StabilizationTimes()[u]; pt != st {
+								t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, pt, st)
+							}
 						}
 					}
 				}

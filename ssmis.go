@@ -120,6 +120,18 @@ func WithWorkers(k int) Option { return mis.WithWorkers(k) }
 // diagnostic/benchmark knob.
 func WithScalarEngine() Option { return mis.WithScalarEngine() }
 
+// WithIdentityOrder opts a process out of the locality relabeling the
+// kernel path auto-selects on large graphs, keeping engine storage in
+// original vertex ids. Relabeled executions are graph isomorphisms of
+// identity-ordered ones — outcomes, coins, and histories are identical —
+// so this is a diagnostic/benchmark knob.
+func WithIdentityOrder() Option { return mis.WithIdentityOrder() }
+
+// WithDegreeOrder forces the degree-bucketed locality relabeling on
+// regardless of graph size or engine path. Primarily for tests and
+// benchmarks; the auto policy already selects it where it pays off.
+func WithDegreeOrder() Option { return mis.WithDegreeOrder() }
+
 // ToggleEdge returns a copy of g with edge {u,v} added if absent, removed
 // if present. Combine with a process's Rebind method to model topology
 // churn (experiment E15).
