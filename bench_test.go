@@ -224,6 +224,46 @@ func BenchmarkEngineKernelClique4k(b *testing.B) {
 	benchEngine(b, ssmis.Complete(4096))
 }
 
+// --- counter-plane benchmarks: the flat full-width int32 counter arrays
+// against the width-adaptive/hub-split plane on the same kernel executions
+// (coin-for-coin identical; only counter storage differs). The gated record
+// lives in BENCH_kernel.json (counters-split and counters-narrow row
+// pairs). ---
+
+func BenchmarkCountersFlatGnp1M(b *testing.B) {
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7),
+		ssmis.WithCounterLayout(ssmis.CounterFlat))
+}
+
+func BenchmarkCountersNarrowGnp1M(b *testing.B) {
+	// Auto resolves the same geometry on this degree profile (max degree
+	// fits a byte, no hub prefix): narrow lanes, 4x less scatter traffic.
+	benchEngine(b, ssmis.GnpAvgDegree(1000000, 10, 7),
+		ssmis.WithCounterLayout(ssmis.CounterNarrow))
+}
+
+func BenchmarkCountersFlatChungLu1M(b *testing.B) {
+	// Heavy-tailed degrees under the locality relabeling: hubs packed first,
+	// flat int32 counters — the baseline for the split row below.
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7),
+		ssmis.WithDegreeOrder(), ssmis.WithCounterLayout(ssmis.CounterFlat))
+}
+
+func BenchmarkCountersSplitChungLu1M(b *testing.B) {
+	// The hub/tail split: dense int32 hub rows stay cache-resident, the
+	// tail lives in byte lanes.
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7),
+		ssmis.WithDegreeOrder(), ssmis.WithCounterLayout(ssmis.CounterSplit))
+}
+
+func BenchmarkCountersSplitWorkersChungLu1M(b *testing.B) {
+	// The delta-buffered parallel commit: hub updates accumulate in
+	// per-worker dense delta arrays merged sequentially after the join (no
+	// atomics on the contended hub rows); tail updates CAS the byte lanes.
+	benchEngine(b, ssmis.ChungLu(1000000, 2.5, 10, 7),
+		ssmis.WithDegreeOrder(), ssmis.WithCounterLayout(ssmis.CounterSplit), ssmis.WithWorkers(8))
+}
+
 func mk3State(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process {
 	return ssmis.NewThreeState(g, opts...)
 }

@@ -156,6 +156,38 @@
 // the BENCH_kernel.json locality row pair (gated: the relabeling must
 // never lose on id-scrambled Chung-Lu n=10^6) pin all of it.
 //
+// Layer 1a” — counter planes (engine/counters.go). The engine's neighbor
+// counters are behind every commit's hottest loop — a random-access
+// read-modify-write scatter into one cell per touched neighbor — and the
+// counter plane restructures that storage without changing a single value
+// anyone reads. Three mechanisms, resolved per graph from the degree
+// profile at Rebuild (WithCounterLayout forces one; auto is the default):
+// width-adaptive tail lanes — a counter never exceeds its vertex's degree,
+// so when the maximum degree outside the hub prefix fits a byte (or a
+// halfword) the tail counters live in uint8 (uint16) lanes, shrinking the
+// scatter traffic 4x (2x) for identical values, with a loud int32 fallback
+// (CounterPlaneInfo.FellBack, plus panic-guarded lane writes) when a forced
+// narrow layout cannot fit; the hub/tail split — when hubs (degree >= 64)
+// are packed first, naturally by the generators' weight-sorted ids or by
+// the locality relabeling above, the hub prefix keeps a dense full-width
+// int32 plane small enough to stay cache-resident across a round while the
+// tail (always low-degree) shrinks to its narrow width; and the
+// delta-buffered parallel commit — workers accumulate hub-row updates,
+// exactly the rows every worker contends on, into per-worker dense delta
+// arrays leased from the RunContext and the engine merges them sequentially
+// in worker order after the join (no atomics on hub rows, and the merge
+// flips the kernel's hasANbr/hasBNbr bits for hub words exactly, so the
+// refresh skips pure-hub words entirely), while tail updates stay
+// concurrent through native atomic adds at full width or CAS loops on the
+// aligned word backing for the narrow widths. Counter updates are
+// commutative integer sums, so every layout at every worker count replays
+// coin-for-coin bit-identical executions — the determinism and lockstep
+// matrices pin the layout axis against the scalar golden, CheckIntegrity
+// re-verifies both the layout-selection invariants and a flat recount every
+// time it runs, and the BENCH_kernel.json counter row pairs gate the split
+// at >= 1.1x (flat vs auto on relabeled Chung-Lu n=10^6) and the narrow
+// lanes at >= 1.0x (Gnp n=10^6, must never lose).
+//
 // Layer 2 — internal/batch, many runs. Every multi-run workload executes on
 // a work-stealing batch scheduler: work is submitted as shards (one graph,
 // many seeds — the graph builds once, lazily, and is shared read-only

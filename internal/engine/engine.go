@@ -107,6 +107,13 @@ type Options struct {
 	// bit-identical; the scalar engine is the golden reference the kernel is
 	// differentially pinned against.
 	Scalar bool
+	// CounterLayout selects where the neighbor counters live (counters.go):
+	// LayoutAuto resolves the hub/tail split and the tail lane width from
+	// the degree profile; the forced values exist for differential tests
+	// and the BENCH_kernel.json layout rows. Every layout replays the same
+	// execution coin-for-coin — the plane changes only where counters are
+	// stored, never what a read returns.
+	CounterLayout CounterLayout
 	// Order, when non-nil, declares that the graph handed to New is a
 	// locality relabeling (graph.Ordering) of the caller's original graph,
 	// with the initial state and per-vertex streams already permuted to
@@ -154,11 +161,10 @@ type Core struct {
 	round int
 	bits  int64
 
-	complete bool    // complete-graph fast path: counters from class totals
-	useB     bool    // rule uses counter B
-	classTab []uint8 // rule.Class memoized per state byte (hot-loop dispatch)
-	nbrA     []int32
-	nbrB     []int32
+	complete bool          // complete-graph fast path: counters from class totals
+	useB     bool          // rule uses counter B
+	classTab []uint8       // rule.Class memoized per state byte (hot-loop dispatch)
+	plane    *counterPlane // neighbor counters (counters.go); idle when complete
 	totalA   int
 	totalB   int
 	stateCnt []int // population per state value
@@ -183,6 +189,7 @@ type Core struct {
 	dirtyAll     bool
 	draw         Draw
 	refreshScr   []refreshScratch // per-worker phase-1 refresh accumulators
+	hubDeltas    []hubDelta       // per-worker hub accumulators (parallel commit)
 	forceGeneric bool             // DisableCompleteFastPath
 	ctx          *RunContext      // non-nil when scratch is leased, not owned
 
@@ -229,6 +236,7 @@ func New(g *graph.Graph, rule Rule, initial []uint8, rngs []*xrand.Rand, opts Op
 		e.inI = bitset.New(n)
 		e.coveredAt = make([]int32, n)
 		e.dirty = bitset.New(n)
+		e.plane = new(counterPlane)
 	}
 	if e.classTab == nil {
 		e.classTab = make([]uint8, rule.NumStates()+1)
@@ -352,7 +360,7 @@ func (e *Core) countA(u int) int32 {
 		}
 		return c
 	}
-	return e.nbrA[u]
+	return e.plane.a(u)
 }
 
 // countB returns counter B of u (rule-specific; 0 when unused).
@@ -367,7 +375,7 @@ func (e *Core) countB(u int) int32 {
 		}
 		return c
 	}
-	return e.nbrB[u]
+	return e.plane.b(u)
 }
 
 // CountA exposes counter A for rule implementations and invariant checks.
@@ -419,11 +427,56 @@ func (e *Core) Step() {
 }
 
 // commit applies a batch of transitions and records the dirty frontier.
+// Off the complete-graph fast path the neighbor scatter dispatches once per
+// batch on the counter plane's tail width; the generic bodies keep the
+// per-neighbor loop free of width branches.
 func (e *Core) commit(changes []change) {
 	if e.kern != nil {
 		e.commitKernel(changes)
 		return
 	}
+	if e.complete {
+		e.commitScalarComplete(changes)
+		return
+	}
+	switch e.plane.width {
+	case 1:
+		commitScalarT(e, changes, e.plane.t8a, e.plane.t8b)
+	case 2:
+		commitScalarT(e, changes, e.plane.t16a, e.plane.t16b)
+	default:
+		commitScalarT(e, changes, e.plane.t32a, e.plane.t32b)
+	}
+}
+
+// commitScalarComplete is the scalar commit on the complete-graph fast
+// path: counters are class totals, so a class change just dirties the
+// whole universe.
+func (e *Core) commitScalarComplete(changes []change) {
+	for _, c := range changes {
+		u := int(c.U)
+		s, ns := e.state[u], c.S
+		e.stateCnt[s]--
+		e.stateCnt[ns]++
+		e.state[u] = ns
+		e.dirty.Add(u)
+		oldCl, newCl := e.classTab[s], e.classTab[ns]
+		if oldCl == newCl {
+			continue
+		}
+		e.totalA += int(newCl&ClassA) - int(oldCl&ClassA)
+		e.totalB += (int(newCl&ClassB) - int(oldCl&ClassB)) >> 1
+		e.dirtyAll = true
+	}
+}
+
+// commitScalarT is the scalar commit over a counter plane with tail cell
+// type T. Tail writes round-trip through int32 so a narrow lane can never
+// wrap silently (the check folds away at full width); hub writes are
+// full-width.
+func commitScalarT[T cell](e *Core, changes []change, tailA, tailB []T) {
+	p := e.plane
+	hubLen := p.hubLen
 	for _, c := range changes {
 		u := int(c.U)
 		s, ns := e.state[u], c.S
@@ -439,20 +492,39 @@ func (e *Core) commit(changes []change) {
 		db := (int32(newCl&ClassB) - int32(oldCl&ClassB)) >> 1
 		e.totalA += int(da)
 		e.totalB += int(db)
-		if e.complete {
-			e.dirtyAll = true
-			continue
-		}
 		if db != 0 && e.useB {
 			for _, v := range e.g.Neighbors(u) {
-				e.nbrA[v] += da
-				e.nbrB[v] += db
-				e.dirty.Add(int(v))
+				vi := int(v)
+				if vi < hubLen {
+					p.hubA[vi] += da
+					p.hubB[vi] += db
+				} else {
+					na := int32(tailA[vi]) + da
+					if int32(T(na)) != na {
+						panicCounterOverflow(vi, na)
+					}
+					tailA[vi] = T(na)
+					nb := int32(tailB[vi]) + db
+					if int32(T(nb)) != nb {
+						panicCounterOverflow(vi, nb)
+					}
+					tailB[vi] = T(nb)
+				}
+				e.dirty.Add(vi)
 			}
 		} else if da != 0 {
 			for _, v := range e.g.Neighbors(u) {
-				e.nbrA[v] += da
-				e.dirty.Add(int(v))
+				vi := int(v)
+				if vi < hubLen {
+					p.hubA[vi] += da
+				} else {
+					na := int32(tailA[vi]) + da
+					if int32(T(na)) != na {
+						panicCounterOverflow(vi, na)
+					}
+					tailA[vi] = T(na)
+				}
+				e.dirty.Add(vi)
 			}
 		}
 	}
@@ -465,51 +537,34 @@ func (e *Core) commit(changes []change) {
 func (e *Core) Rebuild() {
 	n := e.g.N()
 	e.complete = !e.forceGeneric && n >= 2 && e.g.M() == n*(n-1)/2
-	if !e.complete && e.nbrA == nil {
-		if e.ctx != nil {
-			e.ctx.leaseCounters(e, n, e.useB)
-		} else {
-			e.nbrA = make([]int32, n)
-			if e.useB {
-				e.nbrB = make([]int32, n)
-			}
-		}
+	if !e.complete {
+		// Re-resolve the counter-plane layout (the graph may have changed
+		// under Rebind) and reshape its arrays, zeroed.
+		e.plane.configure(e.g, e.opts.CounterLayout, e.useB)
 	}
 	for i := range e.stateCnt {
 		e.stateCnt[i] = 0
 	}
 	e.totalA, e.totalB = 0, 0
-	if !e.complete {
-		for u := 0; u < n; u++ {
-			e.nbrA[u] = 0
-			if e.useB {
-				e.nbrB[u] = 0
-			}
-		}
-	}
 	for u := 0; u < n; u++ {
 		s := e.state[u]
 		e.stateCnt[s]++
 		cl := e.classTab[s]
-		if cl == 0 {
-			continue
-		}
 		if cl&ClassA != 0 {
 			e.totalA++
 		}
 		if cl&ClassB != 0 {
 			e.totalB++
 		}
-		if e.complete {
-			continue
-		}
-		for _, v := range e.g.Neighbors(u) {
-			if cl&ClassA != 0 {
-				e.nbrA[v]++
-			}
-			if cl&ClassB != 0 && e.useB {
-				e.nbrB[v]++
-			}
+	}
+	if !e.complete {
+		switch e.plane.width {
+		case 1:
+			rebuildCountsT(e, e.plane.t8a, e.plane.t8b)
+		case 2:
+			rebuildCountsT(e, e.plane.t16a, e.plane.t16b)
+		default:
+			rebuildCountsT(e, e.plane.t32a, e.plane.t32b)
 		}
 	}
 	e.work.Clear()
@@ -528,7 +583,7 @@ func (e *Core) Rebuild() {
 		if e.complete {
 			e.kern.FillHBNComplete(e.totalA, e.totalB)
 		} else {
-			e.kern.LoadCounters(e.nbrA, e.nbrB)
+			e.settleHBNWords(0, e.kern.Words())
 		}
 		e.exportGate()
 		words := e.kern.Words()
@@ -545,6 +600,39 @@ func (e *Core) Rebuild() {
 		e.dirtyW.Clear()
 	}
 	e.dirtyAll = false
+}
+
+// rebuildCountsT recounts every neighbor counter into the freshly zeroed
+// plane. No overflow guard: the width selection proves counter <= degree <=
+// max tail degree fits the lane.
+func rebuildCountsT[T cell](e *Core, tailA, tailB []T) {
+	p := e.plane
+	hubLen := p.hubLen
+	n := e.g.N()
+	for u := 0; u < n; u++ {
+		cl := e.classTab[e.state[u]]
+		if cl == 0 {
+			continue
+		}
+		if cl&ClassA != 0 {
+			for _, v := range e.g.Neighbors(u) {
+				if vi := int(v); vi < hubLen {
+					p.hubA[vi]++
+				} else {
+					tailA[vi]++
+				}
+			}
+		}
+		if cl&ClassB != 0 && e.useB {
+			for _, v := range e.g.Neighbors(u) {
+				if vi := int(v); vi < hubLen {
+					p.hubB[vi]++
+				} else {
+					tailB[vi]++
+				}
+			}
+		}
+	}
 }
 
 // Rebind switches the engine to a new graph on the same vertex set, keeping
@@ -579,6 +667,11 @@ func (e *Core) RebindOrdered(ord *graph.Ordering) {
 // used by property tests.
 func (e *Core) CheckIntegrity() error {
 	n := e.g.N()
+	if !e.complete {
+		if err := e.plane.checkLayout(e.g, e.opts.CounterLayout); err != nil {
+			return fmt.Errorf("round %d: %w", e.round, err)
+		}
+	}
 	workCnt, activeCnt := 0, 0
 	totalA, totalB := 0, 0
 	for u := 0; u < n; u++ {

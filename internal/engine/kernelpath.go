@@ -174,6 +174,72 @@ func (e *Core) exportGate() {
 // this is the dominant flat cost of the whole kernel path, and a call or a
 // loop-invariant branch per neighbor is measurable at n = 10^6.
 func (e *Core) commitKernel(changes []change) {
+	if e.complete {
+		e.commitKernelComplete(changes)
+		return
+	}
+	switch e.plane.width {
+	case 1:
+		commitKernelT(e, changes, e.plane.t8a, e.plane.t8b)
+	case 2:
+		commitKernelT(e, changes, e.plane.t16a, e.plane.t16b)
+	default:
+		commitKernelT(e, changes, e.plane.t32a, e.plane.t32b)
+	}
+}
+
+// commitKernelComplete is the kernel commit on the complete-graph fast
+// path: lane codes land, class changes dirty the whole universe, and the
+// refresh refills the neighbor lanes from the class totals.
+func (e *Core) commitKernelComplete(changes []change) {
+	loL, hiL := e.kern.StateWords()
+	prog := e.kern.Program()
+	useHi := prog.UseHi()
+	for _, c := range changes {
+		u := int(c.U)
+		s, ns := e.state[u], c.S
+		e.stateCnt[s]--
+		e.stateCnt[ns]++
+		e.state[u] = ns
+		e.dirtyW.Add(u >> 6)
+		code := prog.CodeOf(ns)
+		if code > 3 {
+			panic(fmt.Sprintf("kernel: state %d not in the lane encoding", ns))
+		}
+		ubit := uint64(1) << (uint(u) & 63)
+		if code&1 != 0 {
+			loL[u>>6] |= ubit
+		} else {
+			loL[u>>6] &^= ubit
+		}
+		if useHi {
+			if code&2 != 0 {
+				hiL[u>>6] |= ubit
+			} else {
+				hiL[u>>6] &^= ubit
+			}
+		}
+		oldCl, newCl := e.classTab[s], e.classTab[ns]
+		if oldCl == newCl {
+			continue
+		}
+		e.totalA += int(newCl&ClassA) - int(oldCl&ClassA)
+		e.totalB += (int(newCl&ClassB) - int(oldCl&ClassB)) >> 1
+		e.dirtyAll = true
+	}
+}
+
+// commitKernelT is the kernel commit over a counter plane with tail cell
+// type T — the engine's hottest loop, stenciled per width so the neighbor
+// scatter carries no width dispatch; the hub test (vi < hubLen) is a
+// single predictable branch (always false on flat/narrow planes). The
+// deltas are single steps (da, db in {-1,0,1}), so the zero-crossing tests
+// mirror the original flat commit exactly; tail writes round-trip through
+// int32 so a narrow lane can never wrap silently (the check folds away at
+// full width).
+func commitKernelT[T cell](e *Core, changes []change, tailA, tailB []T) {
+	p := e.plane
+	hubLen := p.hubLen
 	hbnA, hbnB := e.kern.HBNWords()
 	loL, hiL := e.kern.StateWords()
 	prog := e.kern.Program()
@@ -210,10 +276,6 @@ func (e *Core) commitKernel(changes []change) {
 		db := (int32(newCl&ClassB) - int32(oldCl&ClassB)) >> 1
 		e.totalA += int(da)
 		e.totalB += int(db)
-		if e.complete {
-			e.dirtyAll = true
-			continue
-		}
 		if !e.useB {
 			db = 0
 		}
@@ -222,15 +284,29 @@ func (e *Core) commitKernel(changes []change) {
 			for _, v := range e.g.Neighbors(u) {
 				vi := int(v)
 				bit := uint64(1) << (uint(vi) & 63)
-				na := e.nbrA[vi] + da
-				e.nbrA[vi] = na
+				var na, nb int32
+				if vi < hubLen {
+					na = p.hubA[vi] + da
+					p.hubA[vi] = na
+					nb = p.hubB[vi] + db
+					p.hubB[vi] = nb
+				} else {
+					na = int32(tailA[vi]) + da
+					if int32(T(na)) != na {
+						panicCounterOverflow(vi, na)
+					}
+					tailA[vi] = T(na)
+					nb = int32(tailB[vi]) + db
+					if int32(T(nb)) != nb {
+						panicCounterOverflow(vi, nb)
+					}
+					tailB[vi] = T(nb)
+				}
 				if na == da {
 					hbnA[vi>>6] |= bit
 				} else if na == 0 {
 					hbnA[vi>>6] &^= bit
 				}
-				nb := e.nbrB[vi] + db
-				e.nbrB[vi] = nb
 				if nb == db {
 					hbnB[vi>>6] |= bit
 				} else if nb == 0 {
@@ -241,8 +317,17 @@ func (e *Core) commitKernel(changes []change) {
 		case db != 0:
 			for _, v := range e.g.Neighbors(u) {
 				vi := int(v)
-				nb := e.nbrB[vi] + db
-				e.nbrB[vi] = nb
+				var nb int32
+				if vi < hubLen {
+					nb = p.hubB[vi] + db
+					p.hubB[vi] = nb
+				} else {
+					nb = int32(tailB[vi]) + db
+					if int32(T(nb)) != nb {
+						panicCounterOverflow(vi, nb)
+					}
+					tailB[vi] = T(nb)
+				}
 				if nb == db {
 					hbnB[vi>>6] |= 1 << (uint(vi) & 63)
 				} else if nb == 0 {
@@ -253,8 +338,17 @@ func (e *Core) commitKernel(changes []change) {
 		case da != 0:
 			for _, v := range e.g.Neighbors(u) {
 				vi := int(v)
-				na := e.nbrA[vi] + da
-				e.nbrA[vi] = na
+				var na int32
+				if vi < hubLen {
+					na = p.hubA[vi] + da
+					p.hubA[vi] = na
+				} else {
+					na = int32(tailA[vi]) + da
+					if int32(T(na)) != na {
+						panicCounterOverflow(vi, na)
+					}
+					tailA[vi] = T(na)
+				}
 				if na == da {
 					hbnA[vi>>6] |= 1 << (uint(vi) & 63)
 				} else if na == 0 {
@@ -320,14 +414,20 @@ func (e *Core) refreshKernelSeq() {
 // refreshKernelParallel is the two-phase partitioned refresh on lanes.
 // Phase 1 first settles the neighbor bits the parallel commit could not
 // flip — re-deriving each partition's dirty words (or, on a full rescan,
-// its whole word range) from the post-commit counters — then derives
+// its whole word range) from the post-commit counter plane — then derives
 // memberships per word; entrants are collected per worker and stamped
 // sequentially in phase 2, exactly as the scalar refreshParallel does.
+// Words fully inside the hub prefix need no settling: the sequential delta
+// merge already flipped their zero-crossing bits exactly.
 func (e *Core) refreshKernelParallel(full bool) {
 	n := e.g.N()
 	workers := e.opts.Workers
 	bufs := e.refreshBufsFor(workers)
 	sameTA := e.kern.Program().TouchedIsActive()
+	hubSkip := 0
+	if !e.complete {
+		hubSkip = e.plane.hubWords
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		bufs[w].dWork, bufs[w].dActive = 0, 0
@@ -366,8 +466,8 @@ func (e *Core) refreshKernelParallel(full bool) {
 			if full {
 				if e.complete {
 					e.kern.FillHBNCompleteWords(e.totalA, e.totalB, loWord, hiWord)
-				} else {
-					e.kern.LoadCountersWords(e.nbrA, e.nbrB, loWord, hiWord)
+				} else if hiWord > hubSkip {
+					e.settleHBNWords(max(loWord, hubSkip), hiWord)
 				}
 				for wi := loWord; wi < hiWord; wi++ {
 					scanWord(wi)
@@ -376,12 +476,13 @@ func (e *Core) refreshKernelParallel(full bool) {
 				e.dirtyW.ForEachWordInRange(loWord, hiWord, func(base int, w uint64) {
 					for ; w != 0; w &= w - 1 {
 						wi := base + bits.TrailingZeros64(w)
-						if !e.complete {
-							e.kern.LoadCountersWords(e.nbrA, e.nbrB, wi, wi+1)
+						if !e.complete && wi >= hubSkip {
+							e.settleHBNWords(wi, wi+1)
 						}
 						// Complete graph: only class-preserving changes reach
 						// here (anything else sets dirtyAll), so the lanes are
 						// already exact and only memberships need re-deriving.
+						// Pure-hub words: exact since the delta merge.
 						scanWord(wi)
 					}
 				})

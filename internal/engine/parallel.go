@@ -114,16 +114,39 @@ func (e *Core) stepParallel() {
 }
 
 // commitParallel applies the per-worker change lists concurrently. State
-// writes are disjoint (one change per vertex per round), neighbor counters
-// use atomic adds, and the dirty frontier uses atomic bit insertion; the
-// state-population and class totals are merged from per-worker deltas.
+// writes are disjoint (one change per vertex per round) and the dirty
+// frontier uses atomic bit insertion. Counter updates split by the plane's
+// hub prefix: hub-row updates — the contended ones, every worker hits the
+// same few hubs — accumulate into per-worker dense delta arrays merged
+// sequentially in worker order after the join (mergeHubDeltas, which also
+// flips the kernel's hub zero-crossing bits); tail updates stay concurrent
+// via native atomic adds at full width or CAS loops on the aligned word
+// backing for the narrow widths. Counter sums are commutative, so the
+// settled values — and with them every membership, coin, and stamp — are
+// bit-identical to the sequential commit's.
 func (e *Core) commitParallel(changesPer [][]change) {
-	var wg sync.WaitGroup
-	type totals struct {
-		stateCnt []int32
-		a, b     int
+	switch e.plane.width {
+	case 1:
+		commitParallelT(e, changesPer, e.plane.t8a, e.plane.t8b)
+	case 2:
+		commitParallelT(e, changesPer, e.plane.t16a, e.plane.t16b)
+	default:
+		commitParallelT(e, changesPer, e.plane.t32a, e.plane.t32b)
 	}
-	perWorker := make([]totals, len(changesPer))
+}
+
+// commitParallelT is the parallel commit body stenciled per tail width.
+type commitTotals struct {
+	stateCnt []int32
+	a, b     int
+}
+
+func commitParallelT[T cell](e *Core, changesPer [][]change, tailA, tailB []T) {
+	p := e.plane
+	hubLen := p.hubLen
+	deltas := e.hubDeltaBufsFor(len(changesPer), hubLen)
+	var wg sync.WaitGroup
+	perWorker := make([]commitTotals, len(changesPer))
 	for w, changes := range changesPer {
 		if len(changes) == 0 {
 			continue
@@ -131,7 +154,8 @@ func (e *Core) commitParallel(changesPer [][]change) {
 		wg.Add(1)
 		go func(w int, changes []change) {
 			defer wg.Done()
-			t := totals{stateCnt: make([]int32, len(e.stateCnt))}
+			d := &deltas[w]
+			t := commitTotals{stateCnt: make([]int32, len(e.stateCnt))}
 			for _, c := range changes {
 				u := int(c.U)
 				s, ns := e.state[u], c.S
@@ -139,10 +163,11 @@ func (e *Core) commitParallel(changesPer [][]change) {
 				t.stateCnt[ns]++
 				e.state[u] = ns
 				if e.kern != nil {
-					// Only the state code lands here; the neighbor-lane flips
-					// cannot be ordered race-free against the atomic counter
-					// adds below, so the partitioned refresh re-derives them
-					// for the dirty words from the settled counters.
+					// Only the state code lands here; the tail neighbor-lane
+					// flips cannot be ordered race-free against the atomic
+					// counter adds below, so the partitioned refresh
+					// re-derives them for the dirty words from the settled
+					// plane (hub flips happen in the sequential merge).
 					e.kern.SetStateAtomic(u, ns)
 					e.dirtyW.AddAtomic(u >> 6)
 				} else {
@@ -158,24 +183,38 @@ func (e *Core) commitParallel(changesPer [][]change) {
 				t.b += int(db)
 				if db != 0 && e.useB {
 					for _, v := range e.g.Neighbors(u) {
-						atomic.AddInt32(&e.nbrA[v], da)
-						atomic.AddInt32(&e.nbrB[v], db)
+						vi := int(v)
+						if vi < hubLen {
+							if d.dA[vi] == 0 && d.dB[vi] == 0 {
+								d.touched = append(d.touched, int32(vi))
+							}
+							d.dA[vi] += da
+							d.dB[vi] += db
+							continue
+						}
+						atomicTailAdd(p.backA, tailA, vi, da)
+						atomicTailAdd(p.backB, tailB, vi, db)
 						if e.kern != nil {
-							e.dirtyW.AddAtomic(int(v) >> 6)
+							e.dirtyW.AddAtomic(vi >> 6)
 						} else {
-							e.dirty.AddAtomic(int(v))
+							e.dirty.AddAtomic(vi)
 						}
 					}
 				} else if da != 0 {
-					if e.kern != nil {
-						for _, v := range e.g.Neighbors(u) {
-							atomic.AddInt32(&e.nbrA[v], da)
-							e.dirtyW.AddAtomic(int(v) >> 6)
+					for _, v := range e.g.Neighbors(u) {
+						vi := int(v)
+						if vi < hubLen {
+							if d.dA[vi] == 0 {
+								d.touched = append(d.touched, int32(vi))
+							}
+							d.dA[vi] += da
+							continue
 						}
-					} else {
-						for _, v := range e.g.Neighbors(u) {
-							atomic.AddInt32(&e.nbrA[v], da)
-							e.dirty.AddAtomic(int(v))
+						atomicTailAdd(p.backA, tailA, vi, da)
+						if e.kern != nil {
+							e.dirtyW.AddAtomic(vi >> 6)
+						} else {
+							e.dirty.AddAtomic(vi)
 						}
 					}
 				}
@@ -194,4 +233,5 @@ func (e *Core) commitParallel(changesPer [][]change) {
 		e.totalA += t.a
 		e.totalB += t.b
 	}
+	e.mergeHubDeltas(deltas)
 }

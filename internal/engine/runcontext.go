@@ -30,12 +30,13 @@ import (
 type RunContext struct {
 	work, active, inI, dirty bitset.Set
 	coveredAt                []int32
-	nbrA, nbrB               []int32
+	plane                    counterPlane
 	stateCnt                 []int
 	classTab                 []uint8
 	changes                  []change
 	priv                     []int
 	refreshScr               []refreshScratch
+	hubDeltas                []hubDelta
 	lanes                    kernel.Lanes
 	dirtyW                   bitset.Set
 
@@ -79,6 +80,19 @@ func NewRunContext() *RunContext { return &RunContext{} }
 func growI32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
 		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growU64 mirrors growI32 for uint64 slices (the counter plane's tail
+// backing).
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
 	}
 	buf = buf[:n]
 	for i := range buf {
@@ -191,6 +205,10 @@ func (c *RunContext) lease(e *Core, n, numStates int) {
 	e.changes = c.changes[:0]
 	e.priv = c.priv[:0]
 	e.refreshScr = c.refreshScr[:0]
+	e.hubDeltas = c.hubDeltas[:0]
+	// The counter plane (Rebuild configures it per graph) and the parallel
+	// commit's hub delta buffers reuse the context's backing across runs.
+	e.plane = &c.plane
 }
 
 // syncScratch hands the engine's append-grown per-round scratch back to the
@@ -201,6 +219,7 @@ func (e *Core) syncScratch() {
 		e.ctx.changes = e.changes
 		e.ctx.priv = e.priv
 		e.ctx.refreshScr = e.refreshScr
+		e.ctx.hubDeltas = e.hubDeltas
 	}
 }
 
@@ -214,15 +233,4 @@ func (c *RunContext) leaseLanes(prog *kernel.Program, n int) (*kernel.Lanes, *bi
 	c.lanes.Configure(prog, n)
 	c.dirtyW.Reset(c.lanes.Words())
 	return &c.lanes, &c.dirtyW
-}
-
-// leaseCounters leases the neighbor-counter arrays; the engine requests them
-// only off the complete-graph fast path.
-func (c *RunContext) leaseCounters(e *Core, n int, useB bool) {
-	c.nbrA = growI32(c.nbrA, n)
-	e.nbrA = c.nbrA
-	if useB {
-		c.nbrB = growI32(c.nbrB, n)
-		e.nbrB = c.nbrB
-	}
 }

@@ -20,6 +20,7 @@ import (
 type Graph struct {
 	offsets []int   // len n+1; adjacency of u is adj[offsets[u]:offsets[u+1]]
 	adj     []int32 // concatenated sorted neighbor lists
+	maxDeg  int     // memoized MaxDegree (immutable graph, computed at build)
 }
 
 // N returns the number of vertices.
@@ -55,10 +56,17 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
-func (g *Graph) MaxDegree() int {
+// The value is memoized at construction — the graph is immutable, and the
+// engine's counter-width selection, DegreeHistogram, restartmis, and both
+// CLIs' banner lines all ask repeatedly.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// maxDegreeOf scans a CSR offset vector for the maximum degree; the two
+// graph constructors (Build, Relabel) call it once to fill the memo.
+func maxDegreeOf(offsets []int) int {
 	max := 0
-	for u := 0; u < g.N(); u++ {
-		if d := g.Degree(u); d > max {
+	for u := 0; u+1 < len(offsets); u++ {
+		if d := offsets[u+1] - offsets[u]; d > max {
 			max = d
 		}
 	}
@@ -163,7 +171,7 @@ func (b *Builder) Build() *Graph {
 			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 		}
 	}
-	return &Graph{offsets: offsets, adj: adj}
+	return &Graph{offsets: offsets, adj: adj, maxDeg: maxDegreeOf(offsets)}
 }
 
 // normalize brings b.edges to sorted, deduplicated form. Edges up to

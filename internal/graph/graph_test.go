@@ -103,6 +103,45 @@ func TestCompleteGraph(t *testing.T) {
 	}
 }
 
+// MaxDegree is memoized at build time (the engine's counter-width selection
+// reads it on shared read-only graphs); it must agree with a degree scan on
+// every construction path — builder, relabeling, and edge edits.
+func TestMaxDegreeMemo(t *testing.T) {
+	scan := func(g *Graph) int {
+		m := 0
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(u); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	graphs := []*Graph{
+		Path(1), Star(50), Complete(12), Caterpillar(10, 3),
+		Gnp(300, 0.03, xrand.New(5)), ChungLu(500, 2.2, 6, xrand.New(5)),
+	}
+	for i, g := range graphs {
+		if got, want := g.MaxDegree(), scan(g); got != want {
+			t.Fatalf("graph %d: MaxDegree %d, scan says %d", i, got, want)
+		}
+		perm := make([]int32, g.N())
+		for j := range perm {
+			perm[j] = int32(g.N() - 1 - j)
+		}
+		r := Relabel(g, perm)
+		if got, want := r.MaxDegree(), scan(r); got != want {
+			t.Fatalf("graph %d relabeled: MaxDegree %d, scan says %d", i, got, want)
+		}
+	}
+	g := Star(6)
+	if t1 := g.WithEdgeToggled(1, 2); t1.MaxDegree() != scan(t1) {
+		t.Fatal("edge toggle stale memo")
+	}
+	if t2 := g.WithEdgeToggled(0, 1); t2.MaxDegree() != scan(t2) {
+		t.Fatal("edge removal stale memo")
+	}
+}
+
 func TestPathCycleStar(t *testing.T) {
 	if g := Path(5); g.M() != 4 || g.Diameter() != 4 {
 		t.Fatalf("Path(5): m=%d diam=%d", g.M(), g.Diameter())

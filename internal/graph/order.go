@@ -204,5 +204,6 @@ func Relabel(g *Graph, perm []int32) *Graph {
 			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		}
 	}
-	return &Graph{offsets: offsets, adj: adj}
+	// A relabeling permutes degrees, so the memo carries over unchanged.
+	return &Graph{offsets: offsets, adj: adj, maxDeg: g.maxDeg}
 }

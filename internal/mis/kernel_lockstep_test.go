@@ -48,6 +48,23 @@ func TestKernelLockstepMatrix(t *testing.T) {
 		{"gnp-sparse", graph.Gnp(400, 0.01, xrand.New(1))},
 		{"gnp-dense", graph.Gnp(200, 0.2, xrand.New(2))},
 		{"complete", graph.Complete(257)}, // odd order: partial tail word
+		// Weight-sorted power-law ids: a populated hub prefix, so the
+		// counter-layout axis below exercises the hub/tail split for real.
+		{"powerlaw", graph.ChungLu(1500, 2.0, 8, xrand.New(6))},
+	}
+	// The relabel axis runs the kernel over the degree-bucketed locality
+	// ordering; the layout axis forces each counter-plane geometry (flat,
+	// narrow lanes, hub/tail split). Either way the run must replay the
+	// identity-ordered, auto-layout scalar reference coin for coin.
+	axes := []struct {
+		relabel bool
+		layout  engine.CounterLayout
+	}{
+		{false, engine.LayoutAuto},
+		{true, engine.LayoutAuto},
+		{false, engine.LayoutFlat},
+		{false, engine.LayoutNarrow},
+		{false, engine.LayoutSplit},
 	}
 	for _, pr := range procs {
 		for _, gc := range graphs {
@@ -65,17 +82,15 @@ func TestKernelLockstepMatrix(t *testing.T) {
 			}
 			for _, workers := range []int{1, 2, 8} {
 				for _, rescan := range []bool{false, true} {
-					// The relabel axis runs the kernel over the
-					// degree-bucketed locality ordering; it must replay the
-					// identity-ordered scalar reference just the same.
-					for _, relabel := range []bool{false, true} {
-						name := fmt.Sprintf("%s/%s/workers=%d rescan=%v relabel=%v",
-							pr.name, gc.name, workers, rescan, relabel)
-						opts := []Option{WithSeed(99), WithLocalTimes(), WithWorkers(workers)}
+					for _, ax := range axes {
+						name := fmt.Sprintf("%s/%s/workers=%d rescan=%v relabel=%v layout=%v",
+							pr.name, gc.name, workers, rescan, ax.relabel, ax.layout)
+						opts := []Option{WithSeed(99), WithLocalTimes(), WithWorkers(workers),
+							WithCounterLayout(ax.layout)}
 						if rescan {
 							opts = append(opts, WithFullRescan())
 						}
-						if relabel {
+						if ax.relabel {
 							opts = append(opts, WithDegreeOrder())
 						}
 						kern := pr.mk(gc.g, opts...)

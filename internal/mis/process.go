@@ -127,6 +127,9 @@ type options struct {
 	// order selects the locality-relabeling policy (order.go): auto behind
 	// the kernel path, identity opt-out, or forced degree-bucketed.
 	order orderMode
+	// counterLayout selects the engine's neighbor-counter plane layout
+	// (default auto; forced values for differential tests and benchmarks).
+	counterLayout engine.CounterLayout
 }
 
 // engine translates the option set into engine options; noopWhenIdle selects
@@ -134,13 +137,14 @@ type options struct {
 // constructor resolved (nil = identity).
 func (o options) engine(noopWhenIdle bool, ord *graph.Ordering) engine.Options {
 	return engine.Options{
-		Bias:         o.blackBias,
-		Workers:      o.workers,
-		NoopWhenIdle: noopWhenIdle,
-		FullRescan:   o.fullRescan,
-		Ctx:          o.ctx,
-		Scalar:       o.scalar,
-		Order:        ord,
+		Bias:          o.blackBias,
+		Workers:       o.workers,
+		NoopWhenIdle:  noopWhenIdle,
+		FullRescan:    o.fullRescan,
+		Ctx:           o.ctx,
+		Scalar:        o.scalar,
+		CounterLayout: o.counterLayout,
+		Order:         ord,
 	}
 }
 
@@ -204,6 +208,31 @@ func WithFullRescan() Option {
 func WithScalarEngine() Option {
 	return func(o *options) { o.scalar = true }
 }
+
+// WithCounterLayout forces the engine's neighbor-counter plane layout
+// (engine.LayoutFlat/LayoutNarrow/LayoutSplit) instead of the auto
+// resolution from the degree profile. Every layout replays the same
+// execution coin-for-coin — the plane changes only where counters live,
+// never what a read returns — so like WithScalarEngine this is a
+// diagnostic/benchmark knob, never a semantic one. The determinism and
+// lockstep matrices pin all layouts against each other.
+func WithCounterLayout(l engine.CounterLayout) Option {
+	return func(o *options) { o.counterLayout = l }
+}
+
+// CounterPlane reports the engine's resolved counter-plane geometry — the
+// observable half of the loud-fallback contract (FellBack is set when a
+// forced narrow/split layout could not honor a sub-32-bit width). The zero
+// Info on the complete-graph fast path, which keeps no per-vertex counters.
+func (p *TwoState) CounterPlane() engine.CounterPlaneInfo { return p.core.CounterPlane() }
+
+// CounterPlane reports the engine's resolved counter-plane geometry; see
+// (*TwoState).CounterPlane.
+func (p *ThreeState) CounterPlane() engine.CounterPlaneInfo { return p.core.CounterPlane() }
+
+// CounterPlane reports the engine's resolved counter-plane geometry; see
+// (*TwoState).CounterPlane.
+func (p *ThreeColor) CounterPlane() engine.CounterPlaneInfo { return p.core.CounterPlane() }
 
 // WithRunContext builds the process on leased per-worker scratch: every
 // engine structure, the state vector, and the per-vertex random streams come

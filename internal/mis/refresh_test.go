@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"testing"
 
+	"ssmis/internal/engine"
 	"ssmis/internal/graph"
 	"ssmis/internal/verify"
+	"ssmis/internal/xrand"
 )
 
 // Determinism matrix for the engine's partitioned two-phase refresh: every
@@ -31,6 +33,10 @@ func TestRefreshDeterminismMatrix(t *testing.T) {
 		{"star", graph.Star(700)},
 		{"caterpillar", graph.Caterpillar(120, 5)},
 		{"complete", graph.Complete(256)},
+		// Weight-sorted power-law ids pack >= 64 hubs first, so the counter
+		// plane resolves to the hub/tail split with a whole pure-hub lane
+		// word — the geometry the parallel refresh skips after a delta merge.
+		{"powerlaw", graph.ChungLu(8000, 2.0, 10, xrand.New(42))},
 	}
 	type timed interface{ StabilizationTimes() []int }
 	for _, pr := range procs {
@@ -106,6 +112,42 @@ func TestRefreshDeterminismMatrix(t *testing.T) {
 						p := pr.mk(gc.g, opts...)
 						if !kernelEngaged(p) {
 							t.Fatalf("%s: kernel did not engage", name)
+						}
+						if res := Run(p, cap); res != scalRes {
+							t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)
+						}
+						for u := 0; u < gc.g.N(); u++ {
+							if p.Black(u) != scal.Black(u) {
+								t.Fatalf("%s: color of %d diverged", name, u)
+							}
+						}
+						for u, st := range scalTimes {
+							if pt := p.(timed).StabilizationTimes()[u]; pt != st {
+								t.Fatalf("%s: coveredAt stamp of %d is %d, scalar %d", name, u, pt, st)
+							}
+						}
+					}
+				}
+			}
+			// Counter-layout axis: every forced plane layout — flat, narrow,
+			// width-adaptive lanes, hub/tail split — at workers {1, 2, 8} on
+			// the frontier and full-rescan refresh paths must reproduce the
+			// same scalar golden byte for byte: summaries, colors, coveredAt
+			// stamps. The plane changes where counters are stored, never what
+			// a read returns.
+			for _, layout := range []engine.CounterLayout{engine.LayoutFlat, engine.LayoutNarrow, engine.LayoutSplit} {
+				for _, workers := range []int{1, 2, 8} {
+					for _, rescan := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/kernel layout=%v workers=%d rescan=%v",
+							pr.name, gc.name, layout, workers, rescan)
+						opts := []Option{WithSeed(77), WithLocalTimes(), WithWorkers(workers),
+							WithIdentityOrder(), WithCounterLayout(layout)}
+						if rescan {
+							opts = append(opts, WithFullRescan())
+						}
+						p := pr.mk(gc.g, opts...)
+						if info := counterPlaneOf(p); info.Active && info.Layout != layout {
+							t.Fatalf("%s: plane resolved to %v", name, info.Layout)
 						}
 						if res := Run(p, cap); res != scalRes {
 							t.Fatalf("%s: summary %+v, scalar %+v", name, res, scalRes)

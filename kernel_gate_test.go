@@ -37,15 +37,20 @@ import (
 	"ssmis/internal/xrand"
 )
 
-// Both gates sit ~7-15% under the measured min-based speedups (2-state
-// ~1.28x, 3-state ~1.35x), so they catch real regressions without flaking
-// on residual noise. The 2-state gate was 1.3 when the measurement was a
-// plain mean: additive scheduler steal inflates the longer scalar runs
+// Both kernel gates sit ~7-15% under the measured min-based speedups
+// (2-state ~1.28x, 3-state ~1.35x), so they catch real regressions without
+// flaking on residual noise. The 2-state gate was 1.3 when the measurement
+// was a plain mean: additive scheduler steal inflates the longer scalar runs
 // more, which read as ~1.4x; the min-of-reps methodology removes that
-// flattery and reads ~1.28x for the identical binary.
+// flattery and reads ~1.28x for the identical binary. The 3-color pair is
+// gated only as a never-lose floor at 0.95x: its rounds are dominated by the
+// scalar phase-clock sub-process both paths share, so the ratio hovers near
+// 1.0x and the floor exists to catch the kernel path actively regressing
+// the rule, not to claim a win.
 const (
-	minKernelSpeedup       = 1.2 // 2-state, the XOR-flip fast path
-	minKernelSpeedup3State = 1.2 // 3-state, the generic two-lane path
+	minKernelSpeedup       = 1.2  // 2-state, the XOR-flip fast path
+	minKernelSpeedup3State = 1.2  // 3-state, the generic two-lane path
+	minKernelSpeedup3Color = 0.95 // 3-color, never-lose floor (clock-dominated)
 )
 
 func TestKernelSpeedupGate(t *testing.T) {
@@ -74,12 +79,12 @@ func TestKernelSpeedupGate(t *testing.T) {
 		// The 3-color pair runs at n = 10^5: its round count is driven by the
 		// O(log^2 n)-period phase clock (≈1200 rounds at this size), so the
 		// n = 10^6 instance costs minutes per run — far past the CI budget —
-		// without changing what the ratio measures. One repetition: the pair
-		// is ungated, so CI never acts on its noise, and its runs are the
-		// most expensive here.
+		// without changing what the ratio measures. Two repetitions: the pair
+		// carries only the 0.95x never-lose floor, so a modest min-of-2 is
+		// enough noise control for a gate this slack.
 		{"3-color", "3color_gnp100k", g100k,
 			func(g *ssmis.Graph, opts ...ssmis.Option) ssmis.Process { return ssmis.NewThreeColor(g, opts...) },
-			0, 1},
+			minKernelSpeedup3Color, 2},
 	}
 
 	type row struct {
@@ -168,10 +173,8 @@ func TestKernelSpeedupGate(t *testing.T) {
 	// approaches the true time — with the two paths interleaved so drift
 	// hits both symmetrically. Gated at 1.0x — the steady-state relabeling
 	// must never lose — with >= 1.1x the measured win on this workload.
-	{
-		const localitySeeds = 5
-		const localityReps = 3
-		cl1m := ssmis.ChungLu(1000000, 2.5, 10, 7)
+	cl1m := ssmis.ChungLu(1000000, 2.5, 10, 7)
+	scrambled := func() *ssmis.Graph {
 		rng := xrand.New(1234)
 		perm := make([]int32, cl1m.N())
 		for i := range perm {
@@ -181,7 +184,11 @@ func TestKernelSpeedupGate(t *testing.T) {
 			j := rng.Intn(i + 1)
 			perm[i], perm[j] = perm[j], perm[i]
 		}
-		scrambled := graph.Relabel(cl1m, perm)
+		return graph.Relabel(cl1m, perm)
+	}()
+	{
+		const localitySeeds = 5
+		const localityReps = 3
 		paths := []struct {
 			opt    ssmis.Option
 			ctx    *engine.RunContext
@@ -239,8 +246,91 @@ func TestKernelSpeedupGate(t *testing.T) {
 		t.Logf("locality: identity %v, relabeled %v, speedup %.2fx", identNs, localNs, speedup)
 	}
 
+	// Counter-plane row pairs: the flat full-width int32 counter arrays
+	// against the auto-resolved plane on the same execution — identical
+	// seeds, rounds, and coins, so the ratio isolates counter storage.
+	// On the scrambled Chung-Lu graph under the degree-bucketed relabeling
+	// the hubs are packed first and the plane resolves to the hub/tail
+	// split (cache-resident hub rows, byte-wide tail); gated at 1.1x, the
+	// tentpole claim of the counter architecture. On G(n=10^6, avg degree
+	// 10) — no hubs at all — the plane resolves to plain byte lanes, whose
+	// win is the 4x shrink of the commit's scatter traffic; gated at 1.0x
+	// (the narrow plane must never lose to flat). Methodology as above:
+	// shared run contexts, a warm-up run excluded, min of 3 interleaved
+	// repetitions per (path, seed).
+	{
+		const cSeeds = 5
+		const cReps = 3
+		pairs := []struct {
+			key      string
+			g        *ssmis.Graph
+			extra    []ssmis.Option // shared by both paths
+			slugFlat string
+			slugAuto string
+			gate     float64
+			layout   ssmis.CounterLayout // expected auto resolution
+		}{
+			{"counters-split", scrambled, []ssmis.Option{ssmis.WithDegreeOrder()},
+				"kernel_flat_chunglu1m_scrambled", "kernel_split_chunglu1m_scrambled",
+				1.1, ssmis.CounterSplit},
+			{"counters-narrow", g1m, nil,
+				"kernel_flat_gnp1m", "kernel_narrow_gnp1m",
+				1.0, ssmis.CounterNarrow},
+		}
+		for _, pc := range pairs {
+			layouts := [2]ssmis.CounterLayout{ssmis.CounterFlat, ssmis.CounterAuto}
+			ctxs := [2]*engine.RunContext{engine.NewRunContext(), engine.NewRunContext()}
+			var totals [2]time.Duration
+			var rounds [2]int
+			one := func(i int, seed uint64, countRounds bool) time.Duration {
+				opts := append([]ssmis.Option{ssmis.WithSeed(seed),
+					ssmis.WithCounterLayout(layouts[i]), mis.WithRunContext(ctxs[i])}, pc.extra...)
+				p := ssmis.NewTwoState(pc.g, opts...)
+				if info := p.CounterPlane(); i == 1 && (info.Layout != pc.layout || info.WidthBits != 8) {
+					t.Fatalf("%s: auto plane resolved %+v, want %v with byte tail", pc.key, info, pc.layout)
+				}
+				start := time.Now()
+				res := ssmis.Run(p, 0)
+				d := time.Since(start)
+				if !res.Stabilized {
+					t.Fatalf("%s seed %d did not stabilize", pc.key, seed)
+				}
+				if countRounds {
+					rounds[i] += res.Rounds
+				}
+				return d
+			}
+			one(0, 99, false) // warm-up: pages the graph in, memoizes the ordering
+			one(1, 99, false)
+			for seed := uint64(0); seed < cSeeds; seed++ {
+				mins := [2]time.Duration{1 << 62, 1 << 62}
+				for rep := 0; rep < cReps; rep++ {
+					for _, i := range [2]int{int(seed) % 2, 1 - int(seed)%2} {
+						if d := one(i, seed, rep == 0); d < mins[i] {
+							mins[i] = d
+						}
+					}
+				}
+				totals[0] += mins[0]
+				totals[1] += mins[1]
+			}
+			if rounds[0] != rounds[1] {
+				t.Fatalf("%s layouts diverged: flat %d rounds, auto %d rounds",
+					pc.key, rounds[0], rounds[1])
+			}
+			speedup := float64(totals[0].Nanoseconds()) / float64(totals[1].Nanoseconds())
+			rows = append(rows,
+				row{Name: pc.slugFlat, NsPerRun: totals[0].Nanoseconds() / cSeeds},
+				row{Name: pc.slugAuto, NsPerRun: totals[1].Nanoseconds() / cSeeds})
+			speedups[pc.key] = speedup
+			gates[pc.key] = pc.gate
+			roundsTotal[pc.key] = rounds[1]
+			t.Logf("%s: flat %v, auto %v, speedup %.2fx", pc.key, totals[0], totals[1], speedup)
+		}
+	}
+
 	report := map[string]any{
-		"description": "Bit-sliced kernels vs the scalar interface path (full time-to-stabilization including process construction; both paths replay identical executions), one scalar/kernel row pair per rule. ns_per_run averages over seeds 0-4 the minimum of k interleaved repetitions per (path, seed) — k = 3 (2-state), 2 (3-state), 1 (3-color) — because shared-runner noise is additive and the min approaches the true time. 2-state and 3-state run the BenchmarkEngineFrontierGnp1M workload G(n=10^6, avg degree 10); 3-color runs G(n=10^5, avg degree 10) because its phase clock drives ~1200 rounds per run. Gates: 2-state >= 1.2x, 3-state >= 1.2x, 3-color recorded ungated (the shared scalar phase-clock sub-process dominates its rounds). The locality row pair runs the 2-state kernel on a scrambled Chung-Lu(n=10^6, beta=2.5, avg degree 10) — ids randomly permuted, since the generator emits weight-sorted ids where hubs are already front-packed and the reorder has nothing to win — with and without the degree-bucketed vertex relabeling (identical executions up to isomorphism), each path under a shared run context with a warm-up excluded so the ordering is computed once and memoized (the steady-state regime the auto policy engages it in). ns_per_run is the sum over seeds of the minimum of 3 interleaved repetitions: shared-runner scheduler steal only inflates a run, so the min approaches the true time. Gated at >= 1.0x (must never lose); ~1.1x measured on this runner. Regenerate with: BENCH_KERNEL_OUT=$PWD/BENCH_kernel.json go test -run TestKernelSpeedupGate .",
+		"description": "Bit-sliced kernels vs the scalar interface path (full time-to-stabilization including process construction; both paths replay identical executions), one scalar/kernel row pair per rule. ns_per_run averages over seeds 0-4 the minimum of k interleaved repetitions per (path, seed) — k = 3 (2-state), 2 (3-state), 2 (3-color) — because shared-runner noise is additive and the min approaches the true time. 2-state and 3-state run the BenchmarkEngineFrontierGnp1M workload G(n=10^6, avg degree 10); 3-color runs G(n=10^5, avg degree 10) because its phase clock drives ~1200 rounds per run. Gates: 2-state >= 1.2x, 3-state >= 1.2x, 3-color >= 0.95x (a never-lose floor: the shared scalar phase-clock sub-process dominates its rounds, so the ratio hovers near 1.0x). The locality row pair runs the 2-state kernel on a scrambled Chung-Lu(n=10^6, beta=2.5, avg degree 10) — ids randomly permuted, since the generator emits weight-sorted ids where hubs are already front-packed and the reorder has nothing to win — with and without the degree-bucketed vertex relabeling (identical executions up to isomorphism), each path under a shared run context with a warm-up excluded so the ordering is computed once and memoized (the steady-state regime the auto policy engages it in). Gated at >= 1.0x (must never lose); ~1.1x measured on this runner. The counters-split row pair runs the same scrambled Chung-Lu instance under the relabeling with the counter plane forced flat vs auto-resolved (hub/tail split: dense int32 hub rows, byte-wide tail lanes) — identical executions, the ratio isolates counter storage; gated at >= 1.1x. The counters-narrow pair runs the 2-state kernel on the G(n=10^6, avg degree 10) instance, flat vs auto-resolved byte lanes (no hub prefix); gated at >= 1.0x (narrow must never lose). All pairs: min of interleaved repetitions per (path, seed), shared run contexts, warm-up excluded. Regenerate with: BENCH_KERNEL_OUT=$PWD/BENCH_kernel.json go test -run TestKernelSpeedupGate .",
 		"environment": map[string]any{
 			"goos":         runtime.GOOS,
 			"goarch":       runtime.GOARCH,
