@@ -17,6 +17,12 @@
 // resuming silently wrong is the checkpoint layer's one forbidden failure
 // mode.
 //
+// Each case also attacks the declarative scenario codec
+// (internal/scenario): a randomly built valid scenario must round-trip
+// encode→decode with Plan equality and compile, while random mutations of
+// the encoded JSON must decode to a typed error (never a panic, never a
+// silent acceptance of a damaged axis).
+//
 // Usage:
 //
 //	misfuzz -iterations 2000        # bounded run (CI-friendly)
@@ -84,6 +90,9 @@ func run() int {
 		}
 		if msg := fuzzSnapshot(g, caseSeed); msg != "" {
 			return report(it, n, p, caseSeed, "snapshot", msg)
+		}
+		if msg := fuzzScenario(caseSeed); msg != "" {
+			return report(it, n, p, caseSeed, "scenario", msg)
 		}
 		cases++
 	}

@@ -1,0 +1,239 @@
+package main
+
+// Scenario-codec fuzzing: randomly built valid scenarios must round-trip
+// through the JSON codec with Plan equality (Encode is a fixed point), and
+// random mutations of the encoded bytes — truncations, byte flips, inserted
+// JSON punctuation — must come back as one of the codec's typed errors
+// (ErrSyntax, ErrVersion, *ValidationError) without ever panicking.
+// Accepting damaged input, or dying on it, are the declarative layer's two
+// forbidden failure modes.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ssmis/internal/experiment"
+	"ssmis/internal/scenario"
+	"ssmis/internal/sched"
+	"ssmis/internal/xrand"
+)
+
+func fuzzScenario(seed uint64) (msg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			msg = fmt.Sprintf("scenario codec panicked: %v", p)
+		}
+	}()
+	r := xrand.New(seed ^ 0x517cc1b727220a95)
+
+	s, err := randomScenario(r)
+	if err != nil {
+		return "generated scenario rejected: " + err.Error()
+	}
+	wantPlan, err := s.Plan()
+	if err != nil {
+		return "generated scenario plan: " + err.Error()
+	}
+	data, err := scenario.Encode(s)
+	if err != nil {
+		return "encode: " + err.Error()
+	}
+	back, err := scenario.Decode(data)
+	if err != nil {
+		return "decode of own encoding: " + err.Error()
+	}
+	gotPlan, err := back.Plan()
+	if err != nil {
+		return "round-tripped plan: " + err.Error()
+	}
+	if len(gotPlan) != len(wantPlan) {
+		return fmt.Sprintf("plan length changed across round trip: %d vs %d", len(gotPlan), len(wantPlan))
+	}
+	for i := range wantPlan {
+		if gotPlan[i] != wantPlan[i] {
+			return fmt.Sprintf("plan line %d changed across round trip:\n  before: %s\n  after:  %s",
+				i, wantPlan[i], gotPlan[i])
+		}
+	}
+	data2, err := scenario.Encode(back)
+	if err != nil {
+		return "re-encode: " + err.Error()
+	}
+	if string(data2) != string(data) {
+		return "Encode is not a fixed point across Decode"
+	}
+	if _, err := back.Compile(); err != nil {
+		return "round-tripped scenario does not compile: " + err.Error()
+	}
+
+	// Damage the bytes: every mutant must decode to a typed error or to a
+	// scenario that still encodes and plans (a mutation can land on a value
+	// and keep the document valid).
+	for k := 0; k < 10; k++ {
+		mut := mutateScenarioBytes(r, data)
+		ms, err := scenario.Decode(mut)
+		if err == nil {
+			if _, err := ms.Plan(); err != nil {
+				return "mutant decoded but does not plan: " + err.Error()
+			}
+			continue
+		}
+		var ve *scenario.ValidationError
+		if !errors.Is(err, scenario.ErrSyntax) && !errors.Is(err, scenario.ErrVersion) && !errors.As(err, &ve) {
+			return fmt.Sprintf("mutant produced an untyped error: %v", err)
+		}
+	}
+	return ""
+}
+
+// randomScenario assembles a valid scenario from random draws over the
+// registries — every runtime flavor, unit type, and graph family is
+// reachable.
+func randomScenario(r *xrand.Rand) (*scenario.Scenario, error) {
+	b := scenario.New(fmt.Sprintf("fuzz-%d", r.Intn(1_000_000)))
+	if r.Bit() {
+		b.Title("fuzzed scenario")
+	}
+	units := 1 + r.Intn(3)
+	for i := 0; i < units; i++ {
+		switch r.Intn(3) {
+		case 0:
+			randomScalingUnit(r, b, i)
+		case 1:
+			randomDaemonMatrixUnit(r, b, i)
+		default:
+			randomFaultUnit(r, b, i)
+		}
+	}
+	return b.Build()
+}
+
+func randomScalingUnit(r *xrand.Rand, b *scenario.Builder, i int) {
+	sb := b.Scaling(fmt.Sprintf("fuzz scaling %d (100%% random)", i)).
+		Graph(randomFamily(r)).
+		Sizes(8+r.Intn(256), 8+r.Intn(1024)).
+		Trials(1 + r.Intn(40))
+	if r.Bit() {
+		sb.SeedOffset(r.Uint64() % 1000)
+	}
+	if r.Bit() {
+		sb.RoundCap(32 + r.Intn(4096))
+	}
+	kinds := experiment.KindNames()
+	switch r.Intn(4) {
+	case 0: // sync: any process, every sync-only extra is available
+		sb.Process(kinds[r.Intn(len(kinds))])
+		if r.Bit() {
+			sb.Tail(fmt.Sprintf("fuzz tail %d", i), 1+r.Intn(8))
+		}
+		if r.Bit() {
+			sb.MaxFit("max grows like ln^%.2f(n)")
+		}
+		if r.Bit() {
+			sb.Metrics("rounds", "local-times")
+		}
+	case 1:
+		sb.Process("2-state").Runtime("beeping")
+	case 2:
+		sb.Process([]string{"3-state", "3-color"}[r.Intn(2)]).Runtime("stone-age")
+	default:
+		sb.Process([]string{"2-state", "3-state"}[r.Intn(2)])
+		rho := 1 + r.Float64()*3
+		switch r.Intn(3) {
+		case 0:
+			sb.AsyncBounded(rho)
+		case 1:
+			sb.AsyncEventualSync(rho, r.Intn(64))
+		default:
+			sb.AsyncAdversarial(rho)
+		}
+	}
+	if r.Bit() {
+		sb.ClaimNotes("fuzz note").PolylogFit()
+	}
+}
+
+func randomDaemonMatrixUnit(r *xrand.Rand, b *scenario.Builder, i int) {
+	db := b.DaemonMatrix(fmt.Sprintf("fuzz daemons %d: n={n}, {trials} trials", i)).
+		Processes([][]string{{"2-state"}, {"3-state"}, {"2-state", "3-state"}}[r.Intn(3)]...).
+		Graph(randomFamily(r)).
+		N(16+r.Intn(512), 8).
+		Trials(1 + r.Intn(10))
+	if r.Bit() {
+		names := sched.DaemonNames()
+		db.Daemons(names[:1+r.Intn(len(names))]...)
+	}
+	if r.Bit() {
+		db.Sequential(r.Uint64() % 1000)
+	}
+	if r.Bit() {
+		db.SeedOffset(r.Uint64() % 1000)
+	}
+}
+
+func randomFaultUnit(r *xrand.Rand, b *scenario.Builder, i int) {
+	fb := b.Fault(fmt.Sprintf("fuzz faults %d: n={n}, k={k}", i)).
+		Processes("2-state").
+		Graph(randomFamily(r)).
+		N(16+r.Intn(256), 8).
+		CorruptFraction(0.01 + r.Float64()*0.99).
+		Trials(1 + r.Intn(8))
+	if r.Bit() {
+		names := experiment.FaultAdversaryNames()
+		fb.Adversaries(names[:1+r.Intn(len(names))]...)
+	}
+	if r.Bit() {
+		fb.SeedOffset(r.Uint64() % 1000)
+	}
+}
+
+// randomFamily draws a graph family and a valid binding for its parameters.
+func randomFamily(r *xrand.Rand) (string, scenario.Params) {
+	fams := scenario.Families()
+	fam := fams[r.Intn(len(fams))]
+	var params scenario.Params
+	for _, p := range fam.Params {
+		if !p.Required && r.Bit() {
+			continue // exercise the default
+		}
+		lo := p.Min
+		hi := p.Max
+		if hi == 0 {
+			hi = lo + 8
+		}
+		v := lo + r.Float64()*(hi-lo)
+		if p.Int {
+			v = math.Trunc(v)
+			if v < lo {
+				v = math.Trunc(lo)
+			}
+		}
+		if params == nil {
+			params = scenario.Params{}
+		}
+		params[p.Name] = v
+	}
+	return fam.Name, params
+}
+
+// mutateScenarioBytes damages an encoded scenario: truncation, byte flips,
+// or inserted JSON punctuation.
+func mutateScenarioBytes(r *xrand.Rand, data []byte) []byte {
+	mut := append([]byte(nil), data...)
+	switch r.Intn(3) {
+	case 0:
+		mut = mut[:r.Intn(len(mut))]
+	case 1:
+		for i := 0; i < 1+r.Intn(4); i++ {
+			pos := r.Intn(len(mut))
+			mut[pos] ^= byte(1 + r.Intn(255))
+		}
+	default:
+		punct := []byte(`"{}[]:,0x`)
+		pos := r.Intn(len(mut) + 1)
+		ins := punct[r.Intn(len(punct))]
+		mut = append(mut[:pos:pos], append([]byte{ins}, mut[pos:]...)...)
+	}
+	return mut
+}

@@ -50,6 +50,7 @@ import (
 	"ssmis/internal/batch"
 	"ssmis/internal/beeping"
 	"ssmis/internal/engine"
+	"ssmis/internal/experiment"
 	"ssmis/internal/graph"
 	"ssmis/internal/graphio"
 	"ssmis/internal/mis"
@@ -188,17 +189,12 @@ func run() int {
 			return 1
 		}
 	} else {
-		switch *procKind {
-		case "2state":
-			proc = mis.NewTwoState(g, mis.WithSeed(*seed), mis.WithInit(init))
-		case "3state":
-			proc = mis.NewThreeState(g, mis.WithSeed(*seed), mis.WithInit(init))
-		case "3color":
-			proc = mis.NewThreeColor(g, mis.WithSeed(*seed), mis.WithInit(init))
-		default:
-			fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", *procKind)
+		k, kerr := experiment.ParseKind(*procKind)
+		if kerr != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", kerr)
 			return 2
 		}
+		proc = experiment.NewProcess(k, g, mis.WithSeed(*seed), mis.WithInit(init))
 	}
 
 	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d\n", *graphKind, g.N(), g.M(), g.MaxDegree())
@@ -269,12 +265,17 @@ func runAsync(g *graph.Graph, graphKind, procKind string, seed uint64, limit int
 		eng    *async.Engine
 		model  string
 	)
-	switch procKind {
-	case "2state":
+	k, kerr := experiment.ParseKind(procKind)
+	if kerr != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", kerr)
+		return 2
+	}
+	switch k {
+	case experiment.KindTwoState:
 		m := async.NewMIS(g, seed, d, nil)
 		rounds, ok = m.Run(limit)
 		black, bits, eng, model = m.Black, m.RandomBits, m.Engine(), "beeping-cd"
-	case "3state":
+	case experiment.KindThreeState:
 		m := async.NewThreeStateMIS(g, seed, d, nil)
 		rounds, ok = m.Run(limit)
 		black, bits, eng, model = m.Black, m.RandomBits, m.Engine(), "stone-age(2ch)"
@@ -314,15 +315,11 @@ func runAsync(g *graph.Graph, graphKind, procKind string, seed uint64, limit int
 // procName maps a -proc flag value to the checkpoint family name ("" for
 // unknown values, which the construction paths reject themselves).
 func procName(procKind string) string {
-	switch procKind {
-	case "2state":
-		return "2-state"
-	case "3state":
-		return "3-state"
-	case "3color":
-		return "3-color"
+	k, err := experiment.ParseKind(procKind)
+	if err != nil {
+		return ""
 	}
-	return ""
+	return k.String()
 }
 
 // checkpointable is the snapshot surface of the sim-engine processes.
@@ -410,15 +407,17 @@ func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed 
 		fmt.Printf("process %s under %s daemon, resumed at step %d on n=%d m=%d\n",
 			p.Name(), d.Name(), p.Steps(), g.N(), g.M())
 	} else {
-		switch procKind {
-		case "2state":
-			p = mis.NewTwoState(g, mis.WithSeed(seed), mis.WithInit(init))
-		case "3state":
-			p = mis.NewThreeState(g, mis.WithSeed(seed), mis.WithInit(init))
-		default:
-			fmt.Fprintf(os.Stderr, "misrun: process %q does not support daemon scheduling (2state|3state)\n", procKind)
+		k, kerr := experiment.ParseKind(procKind)
+		if kerr != nil {
+			fmt.Fprintln(os.Stderr, "misrun:", kerr)
 			return 2
 		}
+		dr, ok := experiment.NewProcess(k, g, mis.WithSeed(seed), mis.WithInit(init)).(mis.DaemonRunner)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "misrun: process %v does not support daemon scheduling (2state|3state)\n", k)
+			return 2
+		}
+		p = dr
 		fmt.Printf("process %s under %s daemon, init %s, seed %d on n=%d m=%d\n",
 			p.Name(), d.Name(), init, seed, g.N(), g.M())
 	}
@@ -469,22 +468,14 @@ func runDaemon(g *graph.Graph, procKind, daemonName string, init mis.Init, seed 
 // prints distribution statistics, per-cell wall time, and — when trials
 // fail — the exact seeds to replay.
 func runTrials(g *graph.Graph, procKind string, init mis.Init, seed uint64, trials, limit, workers, chunk int) int {
-	switch procKind {
-	case "2state", "3state", "3color":
-	default:
-		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", procKind)
+	kind, err := experiment.ParseKind(procKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
 		return 2
 	}
 	mkProc := func(rc *engine.RunContext, s uint64) mis.Process {
-		opts := []mis.Option{mis.WithRunContext(rc), mis.WithSeed(s), mis.WithInit(init)}
-		switch procKind {
-		case "3state":
-			return mis.NewThreeState(g, opts...)
-		case "3color":
-			return mis.NewThreeColor(g, opts...)
-		default:
-			return mis.NewTwoState(g, opts...)
-		}
+		return experiment.NewProcess(kind, g,
+			mis.WithRunContext(rc), mis.WithSeed(s), mis.WithInit(init))
 	}
 	seeds := make([]uint64, trials)
 	for i := range seeds {
@@ -576,25 +567,27 @@ func buildGraph(kind, inPath string, n int, p float64, d int, seed uint64) (*gra
 }
 
 func runNodeEngine(g *graph.Graph, procKind string, seed uint64, limit int) int {
-	switch procKind {
-	case "2state":
+	k, err := experiment.ParseKind(procKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misrun:", err)
+		return 2
+	}
+	switch k {
+	case experiment.KindTwoState:
 		m := newBeeping(g, seed)
 		defer m.Close()
 		rounds, ok := m.Run(limit)
 		return report(g, "beeping-cd", rounds, ok, m.Black)
-	case "3state":
+	case experiment.KindThreeState:
 		m := newStoneAge3S(g, seed)
 		defer m.Close()
 		rounds, ok := m.Run(limit)
 		return report(g, "stone-age(2ch)", rounds, ok, m.Black)
-	case "3color":
+	default:
 		m := newStoneAge3C(g, seed)
 		defer m.Close()
 		rounds, ok := m.Run(limit)
 		return report(g, "stone-age(12ch)", rounds, ok, m.Black)
-	default:
-		fmt.Fprintf(os.Stderr, "misrun: unknown process %q\n", procKind)
-		return 2
 	}
 }
 

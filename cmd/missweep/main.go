@@ -13,6 +13,16 @@
 //	missweep -run all -checkpoint sweep.ckpt -resume         # continue a killed sweep
 //	missweep -run all -checkpoint sweep.ckpt -checkpoint-every 5s
 //
+//	missweep -scenario examples/scenarios/basic.json         # run a declarative scenario
+//	missweep -scenario a.json,b.json -run E1 -scale 0.25     # scenarios mix with registry ids
+//
+// Declarative scenarios (-scenario) are JSON files compiled by
+// internal/scenario into the same cell structure the registry experiments
+// submit; they share the pool, the checkpoint journal (keyed by scenario
+// name) and every output flag. -list prints the scenario vocabulary —
+// graph families with their parameters, processes, runtimes, drift models,
+// daemons, adversaries and metrics — after the experiment registry.
+//
 // All selected experiments submit their (graph, seed) jobs to ONE shared
 // work-stealing pool (internal/batch) and run concurrently — a straggler
 // cell in E7 no longer serializes the sweep, because E8's jobs fill the
@@ -47,6 +57,7 @@ import (
 
 	"ssmis/internal/batch"
 	"ssmis/internal/experiment"
+	"ssmis/internal/scenario"
 	"ssmis/internal/snapshot"
 )
 
@@ -57,6 +68,7 @@ func main() {
 func run() int {
 	var (
 		runIDs        = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scenFiles     = flag.String("scenario", "", "comma-separated scenario JSON files, compiled and run alongside -run")
 		scale         = flag.Float64("scale", 1.0, "cost multiplier (sizes and trials); 0.25 = quick")
 		seed          = flag.Uint64("seed", 2023, "master seed")
 		list          = flag.Bool("list", false, "list experiments and exit")
@@ -80,29 +92,58 @@ func run() int {
 		return 2
 	}
 
-	if *list || *runIDs == "" {
+	if *list || (*runIDs == "" && *scenFiles == "") {
 		fmt.Println("experiments:")
 		for _, e := range experiment.Registry() {
 			fmt.Printf("  %-4s %s\n       claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		if *runIDs == "" && !*list {
-			fmt.Println("\nuse -run <ids>|all to execute")
+		fmt.Println()
+		fmt.Print(scenario.Vocabulary())
+		if *runIDs == "" && *scenFiles == "" && !*list {
+			fmt.Println("\nuse -run <ids>|all or -scenario <files> to execute")
 		}
 		return 0
 	}
 
 	var selected []experiment.Experiment
-	if strings.EqualFold(*runIDs, "all") {
-		selected = experiment.Registry()
-	} else {
-		for _, id := range strings.Split(*runIDs, ",") {
-			e, ok := experiment.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "missweep: unknown experiment %q (use -list)\n", id)
+	if *runIDs != "" {
+		if strings.EqualFold(*runIDs, "all") {
+			selected = experiment.Registry()
+		} else {
+			for _, id := range strings.Split(*runIDs, ",") {
+				e, ok := experiment.ByID(strings.TrimSpace(id))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "missweep: unknown experiment %q (use -list)\n", id)
+					return 2
+				}
+				selected = append(selected, e)
+			}
+		}
+	}
+	if *scenFiles != "" {
+		for _, path := range strings.Split(*scenFiles, ",") {
+			s, err := scenario.Load(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "missweep: %v\n", err)
+				return 2
+			}
+			e, err := s.Compile()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "missweep: %s: %v\n", path, err)
 				return 2
 			}
 			selected = append(selected, e)
 		}
+	}
+	// Scenario names share the experiment-id namespace (checkpoint journal
+	// keys, -out filenames); a collision would silently interleave two grids.
+	byID := make(map[string]bool, len(selected))
+	for _, e := range selected {
+		if byID[e.ID] {
+			fmt.Fprintf(os.Stderr, "missweep: duplicate experiment id %q in selection (a scenario name collides with another selection)\n", e.ID)
+			return 2
+		}
+		byID[e.ID] = true
 	}
 
 	if *outDir != "" {

@@ -20,6 +20,8 @@
 //	          ↓ all three draw identical coins; async at ρ=1 ≡ noderun ≡ mis
 //	internal/batch ── work-stealing pool over (graph, seed) jobs
 //	internal/experiment (E1–E19), RunSeeds ── sweeps as batch submissions
+//	internal/scenario ── declarative registries + builder + JSON codec,
+//	      compiled onto the experiment layer's spec runners
 //	cmd/misrun · missweep · misfuzz · misviz
 //
 // Which runtime to use:
@@ -230,6 +232,34 @@
 // -workers/-batch) and reports cell wall time plus the exact seeds of any
 // failed runs. BENCH_batch.json records the scheduler against the old
 // per-cell pools.
+//
+// # Declarative scenarios
+//
+// internal/scenario makes the experiment vocabulary declarative: a scenario
+// names its axes — graph family (with validated parameters), process,
+// runtime (sync, beeping, stone-age, or async with a drift model), daemon
+// schedules, fault adversaries, metrics — and compiles to an
+// experiment.Experiment running the exact cell structure the hand-coded
+// suite submits, because both sides share one set of spec runners
+// (ScalingSpec, RuntimeScalingSpec, DaemonMatrixSpec, FaultMatrixSpec,
+// LocalTimesSpec in internal/experiment). Checkpointing, cell timing, and
+// worker-count/scalar/ordering invariance therefore extend to scenarios by
+// construction: E1, E4 and E18 re-expressed as scenarios are pinned
+// byte-identical to their hand-coded originals at workers 1 and 8.
+//
+// Three equivalent entry points feed the layer: the fluent Go builder
+// (scenario.New("x").Scaling("...").Process("2-state").Graph("gnp-avg",
+// scenario.Params{"avgdeg": 8})...), which accumulates construction errors
+// and reports them all at Build() alongside the full cross-axis validation
+// (drift requires the async runtime, beeping is 2-state-only, tail tables
+// and local-times are sync-only, ...); JSON files through the versioned
+// codec (missweep -scenario file.json), which rejects unknown fields,
+// unknown unit types, version skew and trailing data loudly in the
+// internal/snapshot style — a file that decodes is a file that compiles;
+// and scenario literals validated by Validate(). missweep -list prints the
+// whole vocabulary; examples/scenarios/ holds runnable samples, and the
+// misfuzz scenario target pins round-trip Plan equality plus typed-error
+// rejection of arbitrarily mutated documents.
 //
 // # Checkpoint and resume
 //

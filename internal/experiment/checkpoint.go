@@ -10,10 +10,10 @@ package experiment
 // (graph, seed) the resumed sweep's tables are byte-identical to an
 // uninterrupted run at any worker count.
 //
-// Granularity. Stabilization-measurement cells (runTrials — the bulk of
+// Granularity. Stabilization-measurement cells (RunTrials — the bulk of
 // the grid's job volume) resume mid-cell at outcome granularity; their
 // outcomes are plain (rounds, bits, failed, broken) and serialize
-// directly. Cells with workload-specific payloads (runJobs/runJobsOver:
+// directly. Cells with workload-specific payloads (RunJobs/RunJobsOver:
 // runtime replays, churn chains, daemon schedules, ...) re-run when their
 // experiment was interrupted mid-flight — their payloads are arbitrary
 // in-memory values, and purity makes re-running them produce identical

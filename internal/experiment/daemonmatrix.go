@@ -1,0 +1,213 @@
+package experiment
+
+// The daemon-matrix sweep shape: randomized parallel processes and the
+// sequential [28, 20] baseline measured under a set of daemon schedules,
+// one moves/vertex row per (process, daemon) pair. E18 is this shape with
+// the paper's parameters; scenario "daemon-matrix" units compile to the
+// same runner, so a scenario reproducing E18's spec renders its table
+// byte-identically.
+
+import (
+	"fmt"
+
+	"ssmis/internal/engine"
+	"ssmis/internal/mis"
+	"ssmis/internal/sched"
+	"ssmis/internal/stats"
+	"ssmis/internal/verify"
+)
+
+// DaemonMatrixSpec declares one daemon-schedule matrix table.
+type DaemonMatrixSpec struct {
+	// TitleFormat renders the table title; it receives the resolved vertex
+	// count and the trial count (two %d-style verbs in that order).
+	TitleFormat string
+	// Label prefixes the scheduler cell labels ("E18" for the registry
+	// experiment, the scenario/unit name for compiled scenarios).
+	Label string
+	// Family generates the (per-seed) graphs at order N.At(scale).
+	Family GraphFamily
+	// N is the scale-dependent problem size.
+	N ScaledSize
+	// TrialsBase is the per-row trial count at scale 1.
+	TrialsBase int
+	// Kinds lists the parallel randomized processes to schedule (2-state
+	// and/or 3-state; the 3-color process is not daemon-schedulable).
+	Kinds []Kind
+	// KindSeedOffset shifts the master seed of the parallel-process rows
+	// (cfg.Seed + KindSeedOffset).
+	KindSeedOffset uint64
+	// Sequential adds the sequential baseline rows: the deterministic
+	// [28, 20] rule and its randomized [28, 31] variant under the same
+	// daemons.
+	Sequential bool
+	// SeqSeedOffset shifts the master seed of the sequential rows.
+	SeqSeedOffset uint64
+	// Daemons lists the daemon schedules (sched.DaemonByName names); nil
+	// selects every registered daemon.
+	Daemons []string
+	// Notes are appended to the table verbatim.
+	Notes []string
+}
+
+// daemonOutcome is one daemon-scheduled run's payload.
+type daemonOutcome struct {
+	movesPerV, steps float64
+	ok               bool
+}
+
+// RunDaemonMatrix executes the spec against the configuration's shared
+// pool and renders the matrix table.
+//
+// Two (process, daemon) pairs are known livelocks and get a cheap
+// demonstration row (3 trials, a bounded step cap) instead of burning the
+// full cap every trial: the 3-state process under central-adversarial (its
+// reactive demotion is starved forever — the boundary pinned by the k-fair
+// tests in internal/mis) and the deterministic sequential rule under the
+// synchronous daemon (two adjacent actives flip together forever — the
+// reason the parallel process randomizes).
+func RunDaemonMatrix(cfg Config, spec DaemonMatrixSpec) Table {
+	cfg = cfg.normalized()
+	trials := cfg.trials(spec.TrialsBase)
+	n := spec.N.At(cfg.Scale)
+	daemons := spec.Daemons
+	if daemons == nil {
+		daemons = sched.DaemonNames()
+	}
+	t := Table{
+		Title: fmt.Sprintf(spec.TitleFormat, n, trials),
+		Columns: []string{"process", "daemon", "moves/vertex mean", "moves/vertex max",
+			"steps mean", "stabilized"},
+	}
+	for _, kind := range spec.Kinds {
+		for _, dname := range daemons {
+			movesPerV, steps := stats.NewStream(), stats.NewStream()
+			failed := 0
+			// The known livelock case would burn the full step cap on
+			// every trial; keep one cheap demonstration row instead.
+			livelock := kind == KindThreeState && dname == "central-adversarial"
+			rowTrials := trials
+			if livelock {
+				rowTrials = 3
+			}
+			// One pool job per trial (daemon runs are long chains of
+			// tiny steps — exactly the cells that profit from spreading
+			// across the pool).
+			RunJobs(cfg, fmt.Sprintf("%s %v/%s", spec.Label, kind, dname), rowTrials, cfg.Seed+spec.KindSeedOffset,
+				func(_ *engine.RunContext, _ int, seed uint64) any {
+					g := spec.Family.Build(n, seed)
+					d, err := sched.DaemonByName(dname)
+					if err != nil {
+						panic(err)
+					}
+					p := NewProcess(kind, g, mis.WithSeed(seed)).(mis.DaemonRunner)
+					stepCap := mis.DefaultDaemonStepCap(g.N())
+					if livelock {
+						stepCap = 200 * g.N()
+					}
+					st, ok := p.DaemonRun(d, stepCap)
+					if !ok || verify.MIS(g, p.Black) != nil {
+						return daemonOutcome{}
+					}
+					return daemonOutcome{
+						movesPerV: float64(p.Moves()) / float64(g.N()),
+						steps:     float64(st),
+						ok:        true,
+					}
+				},
+				func(_ int, payload any) {
+					o := payload.(daemonOutcome)
+					if !o.ok {
+						failed++
+						return
+					}
+					movesPerV.Add(o.movesPerV)
+					steps.Add(o.steps)
+				})
+			if movesPerV.N() == 0 {
+				status := fmt.Sprintf("0/%d", rowTrials)
+				if livelock {
+					status += " (livelock)"
+				}
+				t.AddRow(kind.String(), dname, "-", "-", "-", status)
+				continue
+			}
+			status := fmt.Sprintf("%d/%d", rowTrials-failed, rowTrials)
+			t.AddRow(kind.String(), dname, movesPerV.Mean(), movesPerV.Max(), steps.Mean(), status)
+		}
+	}
+	if spec.Sequential {
+		// The sequential baseline the paper parallelizes ([28, 20]),
+		// deterministic and randomized, under the same daemon set —
+		// side-by-side moves/vertex against the parallel processes.
+		type seqCase struct {
+			name       string
+			randomized bool
+			livelock   map[string]bool
+		}
+		seqCases := []seqCase{
+			{name: "seq-det [28,20]", livelock: map[string]bool{"synchronous": true}},
+			{name: "seq-rand [28,31]", randomized: true},
+		}
+		for _, sc := range seqCases {
+			for _, dname := range daemons {
+				movesPerV, steps := stats.NewStream(), stats.NewStream()
+				failed := 0
+				livelock := sc.livelock[dname]
+				rowTrials := trials
+				if livelock {
+					rowTrials = 3
+				}
+				RunJobs(cfg, fmt.Sprintf("%s %s/%s", spec.Label, sc.name, dname), rowTrials, cfg.Seed+spec.SeqSeedOffset,
+					func(_ *engine.RunContext, _ int, seed uint64) any {
+						g := spec.Family.Build(n, seed)
+						d, err := sched.DaemonByName(dname)
+						if err != nil {
+							panic(err)
+						}
+						var opts []sched.Option
+						if sc.randomized {
+							opts = append(opts, sched.Randomized())
+						}
+						s := sched.NewSequential(g, d, seed, opts...)
+						stepCap := mis.DefaultDaemonStepCap(g.N())
+						if livelock {
+							// A synchronous step is a full round; the
+							// round-cap scale suffices to exhibit it.
+							stepCap = 4 * mis.DefaultRoundCap(g.N())
+						}
+						st, ok := s.Run(stepCap)
+						if !ok || verify.MIS(g, s.Black) != nil {
+							return daemonOutcome{}
+						}
+						return daemonOutcome{
+							movesPerV: float64(s.Moves()) / float64(g.N()),
+							steps:     float64(st),
+							ok:        true,
+						}
+					},
+					func(_ int, payload any) {
+						o := payload.(daemonOutcome)
+						if !o.ok {
+							failed++
+							return
+						}
+						movesPerV.Add(o.movesPerV)
+						steps.Add(o.steps)
+					})
+				if movesPerV.N() == 0 {
+					status := fmt.Sprintf("0/%d", rowTrials)
+					if livelock {
+						status += " (livelock)"
+					}
+					t.AddRow(sc.name, dname, "-", "-", "-", status)
+					continue
+				}
+				status := fmt.Sprintf("%d/%d", rowTrials-failed, rowTrials)
+				t.AddRow(sc.name, dname, movesPerV.Mean(), movesPerV.Max(), steps.Mean(), status)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, spec.Notes...)
+	return t
+}

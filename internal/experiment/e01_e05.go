@@ -14,68 +14,36 @@ import (
 	"ssmis/internal/xrand"
 )
 
+// e01Spec is E1's declaration on the shared scaling-sweep shape; the golden
+// tests in internal/scenario pin the scenario re-expression against it.
+func e01Spec() ScalingSpec {
+	return ScalingSpec{
+		Title: "E1a: stabilization time of 2-state on K_n",
+		Kind:  KindTwoState,
+		Family: GraphFamily{
+			Name:  "complete",
+			Build: func(n int, _ uint64) *graph.Graph { return graph.Complete(n) },
+			Det:   true,
+		},
+		Sizes:       []int{256, 512, 1024, 2048, 4096, 8192},
+		TrialsBase:  200,
+		ClaimNotes:  []string{"claim shape: mean/ln n ≈ constant; max/ln² n bounded"},
+		PolylogNote: true,
+		MaxFitNote:  "max-over-trials grows like ln^%.2f(n) (claim: up to 2 for the w.h.p. bound)",
+		Tail: &TailSpec{
+			Title: "E1b: geometric tail P[T ≥ k·log2 n] on the largest clique",
+			KMax:  6,
+		},
+	}
+}
+
 func e01CliqueTwoState() Experiment {
 	return Experiment{
 		ID:    "E1",
 		Title: "2-state MIS on complete graphs K_n",
 		Claim: "Theorem 8: O(log n) expected, Θ(log² n) w.h.p.; P[T ≥ k·log n] = 2^{-Θ(k)}",
 		Run: func(cfg Config) []Table {
-			cfg = cfg.normalized()
-			sizes := cfg.sizes([]int{256, 512, 1024, 2048, 4096, 8192})
-			trials := cfg.trials(200)
-
-			scaling := Table{Title: "E1a: stabilization time of 2-state on K_n", Columns: scalingColumns()}
-			var ns []int
-			var means, maxes []float64
-			var tailSample []float64
-			for _, n := range sizes {
-				g := graph.Complete(n)
-				m := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
-				scalingRow(&scaling, n, m)
-				if m.count() > 0 {
-					ns = append(ns, n)
-					means = append(means, m.summary().Mean)
-					maxes = append(maxes, m.summary().Max)
-					if n == sizes[len(sizes)-1] {
-						tailSample = m.rounds.Values()
-					}
-				}
-			}
-			scaling.Notes = append(scaling.Notes,
-				"claim shape: mean/ln n ≈ constant; max/ln² n bounded",
-				polylogNote(ns, means))
-			if len(ns) >= 2 {
-				fn := make([]float64, len(ns))
-				for i, n := range ns {
-					fn[i] = float64(n)
-				}
-				_, kMax, _ := stats.PolylogFit(fn, maxes)
-				scaling.Notes = append(scaling.Notes,
-					fmt.Sprintf("max-over-trials grows like ln^%.2f(n) (claim: up to 2 for the w.h.p. bound)", kMax))
-			}
-
-			tail := Table{
-				Title:   "E1b: geometric tail P[T ≥ k·log2 n] on the largest clique",
-				Columns: []string{"k", "P[T ≥ k·log2 n]"},
-			}
-			if len(tailSample) > 0 {
-				nLast := sizes[len(sizes)-1]
-				scale := math.Log2(float64(nLast))
-				for k := 1; k <= 6; k++ {
-					cnt := 0
-					for _, x := range tailSample {
-						if x >= float64(k)*scale {
-							cnt++
-						}
-					}
-					tail.AddRow(k, float64(cnt)/float64(len(tailSample)))
-				}
-				slope, points := stats.GeometricTailSlope(tailSample, scale, 5)
-				tail.Notes = append(tail.Notes,
-					fmt.Sprintf("claim shape: log2 of the tail decays linearly in k; fitted slope %.2f over %d points (Θ(1) expected)",
-						slope, points))
-			}
-			return []Table{scaling, tail}
+			return RunScalingSweep(cfg, e01Spec())
 		},
 	}
 }
@@ -89,22 +57,22 @@ func e02DisjointCliques() Experiment {
 			cfg = cfg.normalized()
 			roots := cfg.sizes([]int{16, 24, 32, 48, 64, 96})
 			trials := cfg.trials(100)
-			t := Table{Title: "E2: 2-state on disjoint cliques (n = s² vertices, s cliques of size s)", Columns: scalingColumns()}
+			t := Table{Title: "E2: 2-state on disjoint cliques (n = s² vertices, s cliques of size s)", Columns: ScalingColumns()}
 			var ns []int
 			var means []float64
 			for _, s := range roots {
 				n := s * s
 				g := graph.DisjointCliques(s, s)
-				m := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
-				scalingRow(&t, n, m)
-				if m.count() > 0 {
+				m := RunTrials(cfg, KindTwoState, FixedGraph(g), trials, 0, cfg.Seed+uint64(n))
+				ScalingRow(&t, n, m)
+				if m.Count() > 0 {
 					ns = append(ns, n)
-					means = append(means, m.summary().Mean)
+					means = append(means, m.Summary().Mean)
 				}
 			}
 			t.Notes = append(t.Notes,
 				"claim shape: MEAN/ln² n ≈ constant (the slowest of √n cliques dominates)",
-				polylogNote(ns, means))
+				PolylogNote(ns, means))
 			return []Table{t}
 		},
 	}
@@ -128,12 +96,12 @@ func e03CliqueThreeState() Experiment {
 			var max2, max3 []float64
 			for _, n := range sizes {
 				g := graph.Complete(n)
-				m2 := runTrials(cfg, KindTwoState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n))
-				m3 := runTrials(cfg, KindThreeState, fixedGraph(g), trials, 0, cfg.Seed+uint64(n)+1)
-				if m2.count() == 0 || m3.count() == 0 {
+				m2 := RunTrials(cfg, KindTwoState, FixedGraph(g), trials, 0, cfg.Seed+uint64(n))
+				m3 := RunTrials(cfg, KindThreeState, FixedGraph(g), trials, 0, cfg.Seed+uint64(n)+1)
+				if m2.Count() == 0 || m3.Count() == 0 {
 					continue
 				}
-				s2, s3 := m2.summary(), m3.summary()
+				s2, s3 := m2.Summary(), m3.Summary()
 				ln := math.Log(float64(n))
 				t.AddRow(n, s2.Mean, s2.Max, s3.Mean, s3.Max, s2.Max/(ln*ln), s3.Max/ln)
 				ns = append(ns, n)
@@ -162,60 +130,56 @@ func e04BoundedArboricity() Experiment {
 		Title: "2-state MIS on bounded-arboricity graphs",
 		Claim: "Theorem 11: O(log n) w.h.p. on graphs of bounded arboricity (trees, grids, bounded-degeneracy graphs)",
 		Run: func(cfg Config) []Table {
-			cfg = cfg.normalized()
-			sizes := cfg.sizes([]int{1024, 4096, 16384, 65536})
-			trials := cfg.trials(60)
-			families := []struct {
-				name string
-				gen  func(n int, seed uint64) *graph.Graph
-				// det marks deterministic families (the gen ignores its
-				// seed): their cells submit as fixed shards, so the batch
-				// scheduler builds the graph once instead of once per trial.
-				det bool
-			}{
-				{name: "random-tree", gen: func(n int, seed uint64) *graph.Graph {
-					return graph.RandomTree(n, xrand.New(seed))
-				}},
-				{name: "prufer-tree", gen: func(n int, seed uint64) *graph.Graph {
-					return graph.UniformLabeledTree(n, xrand.New(seed))
-				}},
-				{name: "path", gen: func(n int, _ uint64) *graph.Graph { return graph.Path(n) }, det: true},
-				{name: "grid", gen: func(n int, _ uint64) *graph.Graph {
-					s := int(math.Sqrt(float64(n)))
-					return graph.Grid(s, s)
-				}, det: true},
-				{name: "degen-3", gen: func(n int, seed uint64) *graph.Graph {
-					return graph.BoundedDegeneracyRandom(n, 3, xrand.New(seed))
-				}},
-				{name: "caterpillar", gen: func(n int, _ uint64) *graph.Graph {
-					return graph.Caterpillar(n/9, 8)
-				}, det: true},
-			}
 			var tables []Table
-			for _, fam := range families {
-				t := Table{Title: "E4: 2-state on " + fam.name, Columns: scalingColumns()}
-				var ns []int
-				var means []float64
-				for _, n := range sizes {
-					probe := fam.gen(n, 1)
-					actualN := probe.N()
-					gen := perSeed(func(seed uint64) *graph.Graph { return fam.gen(n, seed) })
-					if fam.det {
-						gen = fixedGraph(probe)
-					}
-					m := runTrials(cfg, KindTwoState, gen, trials, 0, cfg.Seed+uint64(n))
-					scalingRow(&t, actualN, m)
-					if m.count() > 0 {
-						ns = append(ns, actualN)
-						means = append(means, m.summary().Mean)
-					}
-				}
-				t.Notes = append(t.Notes, "claim shape: mean/ln n ≈ constant", polylogNote(ns, means))
-				tables = append(tables, t)
+			for _, spec := range e04Specs() {
+				tables = append(tables, RunScalingSweep(cfg, spec)...)
 			}
 			return tables
 		},
 	}
+}
+
+// e04Families lists E4's bounded-arboricity graph families. Deterministic
+// families ignore their seed: their cells submit as fixed shards, so the
+// batch scheduler builds the graph once instead of once per trial.
+func e04Families() []GraphFamily {
+	return []GraphFamily{
+		{Name: "random-tree", Build: func(n int, seed uint64) *graph.Graph {
+			return graph.RandomTree(n, xrand.New(seed))
+		}},
+		{Name: "prufer-tree", Build: func(n int, seed uint64) *graph.Graph {
+			return graph.UniformLabeledTree(n, xrand.New(seed))
+		}},
+		{Name: "path", Build: func(n int, _ uint64) *graph.Graph { return graph.Path(n) }, Det: true},
+		{Name: "grid", Build: func(n int, _ uint64) *graph.Graph {
+			s := int(math.Sqrt(float64(n)))
+			return graph.Grid(s, s)
+		}, Det: true},
+		{Name: "degen-3", Build: func(n int, seed uint64) *graph.Graph {
+			return graph.BoundedDegeneracyRandom(n, 3, xrand.New(seed))
+		}},
+		{Name: "caterpillar", Build: func(n int, _ uint64) *graph.Graph {
+			return graph.Caterpillar(n/9, 8)
+		}, Det: true},
+	}
+}
+
+// e04Specs is E4's declaration — one scaling sweep per family — shared with
+// the scenario golden tests.
+func e04Specs() []ScalingSpec {
+	var specs []ScalingSpec
+	for _, fam := range e04Families() {
+		specs = append(specs, ScalingSpec{
+			Title:       "E4: 2-state on " + fam.Name,
+			Kind:        KindTwoState,
+			Family:      fam,
+			Sizes:       []int{1024, 4096, 16384, 65536},
+			TrialsBase:  60,
+			ClaimNotes:  []string{"claim shape: mean/ln n ≈ constant"},
+			PolylogNote: true,
+		})
+	}
+	return specs
 }
 
 func e05MaxDegree() Experiment {
@@ -238,12 +202,12 @@ func e05MaxDegree() Experiment {
 				gen := func(seed uint64) *graph.Graph {
 					return graph.RandomRegular(n, d, xrand.New(seed))
 				}
-				m := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(d))
-				if m.count() == 0 {
+				m := RunTrials(cfg, KindTwoState, PerSeed(gen), trials, 0, cfg.Seed+uint64(d))
+				if m.Count() == 0 {
 					t.AddRow(d, "-", "-", "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 					continue
 				}
-				s := m.summary()
+				s := m.Summary()
 				ratio := s.Max / (float64(d) * ln)
 				if ratio > worstRatio {
 					worstRatio = ratio

@@ -56,22 +56,22 @@ func e06GnpTwoState() Experiment {
 			trials := cfg.trials(40)
 			var tables []Table
 			for _, reg := range sparseRegimes() {
-				t := Table{Title: "E6: 2-state on G(n, " + reg.name + ")", Columns: scalingColumns()}
+				t := Table{Title: "E6: 2-state on G(n, " + reg.name + ")", Columns: ScalingColumns()}
 				var ns []int
 				var means []float64
 				for _, n := range sizes {
 					p := reg.p(n)
 					gen := func(seed uint64) *graph.Graph { return graph.Gnp(n, p, xrand.New(seed)) }
-					m := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(n))
-					scalingRow(&t, n, m)
-					if m.count() > 0 {
+					m := RunTrials(cfg, KindTwoState, PerSeed(gen), trials, 0, cfg.Seed+uint64(n))
+					ScalingRow(&t, n, m)
+					if m.Count() > 0 {
 						ns = append(ns, n)
-						means = append(means, m.summary().Mean)
+						means = append(means, m.Summary().Mean)
 					}
 				}
 				t.Notes = append(t.Notes, reg.note,
 					"claim shape: polylog growth (small fitted exponent, near-zero power-law exponent)",
-					polylogNote(ns, means))
+					PolylogNote(ns, means))
 				tables = append(tables, t)
 			}
 			return tables
@@ -104,14 +104,14 @@ func e07GnpThreeColor() Experiment {
 				for _, n := range sizes {
 					p := reg.p(n)
 					gen := func(seed uint64) *graph.Graph { return graph.Gnp(n, p, xrand.New(seed)) }
-					m2 := runTrials(cfg, KindTwoState, perSeed(gen), trials, 0, cfg.Seed+uint64(n))
-					m3 := runTrials(cfg, KindThreeColor, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed+uint64(n)+7)
-					if m2.count() == 0 || m3.count() == 0 {
+					m2 := RunTrials(cfg, KindTwoState, PerSeed(gen), trials, 0, cfg.Seed+uint64(n))
+					m3 := RunTrials(cfg, KindThreeColor, PerSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed+uint64(n)+7)
+					if m2.Count() == 0 || m3.Count() == 0 {
 						t.AddRow(n, "-", "-", "-", "-", "-",
 							fmt.Sprintf("capped 2st=%d 3col=%d", m2.failures, m3.failures))
 						continue
 					}
-					s2, s3 := m2.summary(), m3.summary()
+					s2, s3 := m2.Summary(), m3.Summary()
 					status := "ok"
 					if m2.failures+m3.failures > 0 {
 						status = fmt.Sprintf("capped 2st=%d 3col=%d", m2.failures, m3.failures)
@@ -122,7 +122,7 @@ func e07GnpThreeColor() Experiment {
 				}
 				t.Notes = append(t.Notes, reg.note,
 					"claim shape: 3-color stays polylog in every regime (Theorem 3); the 2-state column is the conjectured-but-unproven comparison",
-					"3-color fit: "+polylogNote(ns, means3))
+					"3-color fit: "+PolylogNote(ns, means3))
 				tables = append(tables, t)
 			}
 			return tables
@@ -156,7 +156,7 @@ func e08LogSwitch() Experiment {
 				maxOff, minOff, maxOn int
 				s1, s2, s3            bool
 			}
-			runJobsOver(cfg, "E8 switch runs", sizeSeeds,
+			RunJobsOver(cfg, "E8 switch runs", sizeSeeds,
 				func(_ *engine.RunContext, t int, seed uint64) any {
 					n := sizes[t]
 					rng := xrand.New(seed)
@@ -200,7 +200,7 @@ func e08LogSwitch() Experiment {
 				n      int
 				maxOff int
 			}
-			runJobsOver(cfg, "E8b high-diameter S1", pathSeeds,
+			RunJobsOver(cfg, "E8b high-diameter S1", pathSeeds,
 				func(_ *engine.RunContext, t int, seed uint64) any {
 					n := pathSizes[t]
 					g := graph.Path(n)
@@ -289,15 +289,15 @@ func e09GoodGraph() Experiment {
 					var passCount [7]int
 					good := 0
 					// One pool job per sampled graph.
-					trialSeeds := make([]uint64, trials)
-					for trial := range trialSeeds {
-						trialSeeds[trial] = cfg.Seed + uint64(n)*1000 + uint64(trial)
+					TrialSeeds := make([]uint64, trials)
+					for trial := range TrialSeeds {
+						TrialSeeds[trial] = cfg.Seed + uint64(n)*1000 + uint64(trial)
 					}
 					type goodRep struct {
 						pass [7]bool
 						good bool
 					}
-					runJobsOver(cfg, fmt.Sprintf("E9 n=%d p=%.3f", n, p), trialSeeds,
+					RunJobsOver(cfg, fmt.Sprintf("E9 n=%d p=%.3f", n, p), TrialSeeds,
 						func(_ *engine.RunContext, _ int, seed uint64) any {
 							rng := xrand.New(seed)
 							g := graph.Gnp(n, p, rng)

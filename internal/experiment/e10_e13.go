@@ -33,7 +33,7 @@ func e10Baselines() Experiment {
 			trials := cfg.trials(30)
 			type workload struct {
 				name string
-				gen  graphGen
+				gen  GraphGen
 				n    int
 			}
 			n := int(2048 * math.Min(cfg.Scale*2, 1))
@@ -41,13 +41,13 @@ func e10Baselines() Experiment {
 				n = 256
 			}
 			workloads := []workload{
-				{"gnp-avg16", perSeed(func(seed uint64) *graph.Graph {
+				{"gnp-avg16", PerSeed(func(seed uint64) *graph.Graph {
 					return graph.GnpAvgDegree(n, 16, xrand.New(seed))
 				}), n},
-				{"tree", perSeed(func(seed uint64) *graph.Graph {
+				{"tree", PerSeed(func(seed uint64) *graph.Graph {
 					return graph.RandomTree(n, xrand.New(seed))
 				}), n},
-				{"clique", fixedGraph(graph.Complete(n / 4)), n / 4},
+				{"clique", FixedGraph(graph.Complete(n / 4)), n / 4},
 			}
 			var tables []Table
 			for _, w := range workloads {
@@ -57,11 +57,11 @@ func e10Baselines() Experiment {
 						"rnd bits/vertex/round", "self-stab", "communication"},
 				}
 				for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
-					m := runTrials(cfg, kind, w.gen, trials, 4*mis.DefaultRoundCap(w.n), cfg.Seed)
-					if m.count() == 0 {
+					m := RunTrials(cfg, kind, w.gen, trials, 4*mis.DefaultRoundCap(w.n), cfg.Seed)
+					if m.Count() == 0 {
 						continue
 					}
-					s := m.summary()
+					s := m.Summary()
 					bitsPerVR := m.bits.Mean() / s.Mean / float64(w.n)
 					states := map[Kind]string{KindTwoState: "2", KindThreeState: "3", KindThreeColor: "18"}[kind]
 					comm := map[Kind]string{
@@ -74,9 +74,9 @@ func e10Baselines() Experiment {
 				// Luby and permutation greedy, one pool job per trial.
 				lubyRounds, permRounds := stats.NewStream(), stats.NewStream()
 				type basePair struct{ luby, perm float64 }
-				runJobs(cfg, "E10 baselines "+w.name, trials, cfg.Seed+99,
+				RunJobs(cfg, "E10 baselines "+w.name, trials, cfg.Seed+99,
 					func(_ *engine.RunContext, _ int, seed uint64) any {
-						g := w.gen.at(seed)
+						g := w.gen.At(seed)
 						return basePair{
 							luby: float64(baseline.Luby(g, seed).Rounds),
 							perm: float64(baseline.PermutationGreedy(g, seed).Rounds),
@@ -97,9 +97,9 @@ func e10Baselines() Experiment {
 					seqSeeds[i] = master.Split(uint64(1000 + i)).Uint64()
 				}
 				seqMoves := stats.NewStream()
-				runJobsOver(cfg, "E10 sequential "+w.name, seqSeeds,
+				RunJobsOver(cfg, "E10 sequential "+w.name, seqSeeds,
 					func(_ *engine.RunContext, _ int, seed uint64) any {
-						g := w.gen.at(seed)
+						g := w.gen.At(seed)
 						s := sched.NewSequential(g, sched.CentralAdversarial{}, seed)
 						s.Run(10 * g.N())
 						return float64(s.Moves())
@@ -137,13 +137,13 @@ func e11SelfStabilization() Experiment {
 			}
 			for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
 				for _, init := range mis.AllInits() {
-					m := runTrials(cfg, kind, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed,
+					m := RunTrials(cfg, kind, PerSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed,
 						mis.WithInit(init))
-					if m.count() == 0 {
+					if m.Count() == 0 {
 						initTable.AddRow(kind.String(), init.String(), "-", "-", "FAILED")
 						continue
 					}
-					s := m.summary()
+					s := m.Summary()
 					status := "ok"
 					if m.failures > 0 {
 						status = fmt.Sprintf("%d capped", m.failures)
@@ -159,10 +159,10 @@ func e11SelfStabilization() Experiment {
 				Columns: []string{"process", "adversary", "recovery mean", "recovery max", "fresh mean", "status"},
 			}
 			for _, kind := range []Kind{KindTwoState, KindThreeState, KindThreeColor} {
-				fresh := runTrials(cfg, kind, perSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed)
+				fresh := RunTrials(cfg, kind, PerSeed(gen), trials, 4*mis.DefaultRoundCap(n), cfg.Seed)
 				freshMean := 0.0
-				if fresh.count() > 0 {
-					freshMean = fresh.summary().Mean
+				if fresh.Count() > 0 {
+					freshMean = fresh.Summary().Mean
 				}
 				for _, adv := range fault.AllAdversaries() {
 					// One pool job per trial: stabilize, corrupt, re-stabilize.
@@ -172,10 +172,10 @@ func e11SelfStabilization() Experiment {
 					}
 					recRounds := stats.NewStream()
 					failed := 0
-					runJobs(cfg, fmt.Sprintf("E11b %v/%v", kind, adv), trials, cfg.Seed+5,
+					RunJobs(cfg, fmt.Sprintf("E11b %v/%v", kind, adv), trials, cfg.Seed+5,
 						func(rc *engine.RunContext, t int, seed uint64) any {
 							g := gen(seed)
-							p := newProcess(kind, g, cfg.procOpts(mis.WithRunContext(rc), mis.WithSeed(seed))...)
+							p := NewProcess(kind, g, cfg.procOpts(mis.WithRunContext(rc), mis.WithSeed(seed))...)
 							if !mis.Run(p, 8*mis.DefaultRoundCap(n)).Stabilized {
 								return recOutcome{}
 							}
@@ -239,7 +239,7 @@ func e12Runtimes() Experiment {
 			// One pool job per trial; each job replays all three process
 			// families on both engines and reports the paired rounds.
 			type pair struct{ sim, rt int }
-			runJobs(cfg, "E12 equivalence", trials, cfg.Seed+11,
+			RunJobs(cfg, "E12 equivalence", trials, cfg.Seed+11,
 				func(runCtx *engine.RunContext, _ int, seed uint64) any {
 					g := graph.GnpAvgDegree(n, 8, xrand.New(seed))
 					limit := 8 * mis.DefaultRoundCap(n)
@@ -312,16 +312,16 @@ func e13Ablations() Experiment {
 				return graph.GnpAvgDegree(n, 12, xrand.New(seed))
 			}
 			for _, bias := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-				mc := runTrials(cfg, KindTwoState, fixedGraph(cl), trials, 0, cfg.Seed+uint64(bias*100),
+				mc := RunTrials(cfg, KindTwoState, FixedGraph(cl), trials, 0, cfg.Seed+uint64(bias*100),
 					mis.WithBlackBias(bias))
-				mg := runTrials(cfg, KindTwoState, perSeed(genG), trials, 0, cfg.Seed+uint64(bias*100)+1,
+				mg := RunTrials(cfg, KindTwoState, PerSeed(genG), trials, 0, cfg.Seed+uint64(bias*100)+1,
 					mis.WithBlackBias(bias))
 				row := []interface{}{bias}
-				for _, m := range []*measurement{mc, mg} {
-					if m.count() == 0 {
+				for _, m := range []*Measurement{mc, mg} {
+					if m.Count() == 0 {
 						row = append(row, "-", "-")
 					} else {
-						s := m.summary()
+						s := m.Summary()
 						row = append(row, s.Mean, s.Max)
 					}
 				}
@@ -339,13 +339,13 @@ func e13Ablations() Experiment {
 				return graph.Gnp(n/2, 0.25, xrand.New(seed))
 			}
 			for _, k := range []uint{3, 5, 7, 9} {
-				m := runTrials(cfg, KindThreeColor, perSeed(genDense), trials, 8*mis.DefaultRoundCap(n/2),
+				m := RunTrials(cfg, KindThreeColor, PerSeed(genDense), trials, 8*mis.DefaultRoundCap(n/2),
 					cfg.Seed+uint64(k), mis.WithSwitchZetaLog2(k))
-				if m.count() == 0 {
+				if m.Count() == 0 {
 					zetaT.AddRow(k, 4<<k, "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 					continue
 				}
-				s := m.summary()
+				s := m.Summary()
 				status := "ok"
 				if m.failures > 0 {
 					status = fmt.Sprintf("%d capped", m.failures)

@@ -59,7 +59,7 @@ func e14LocalTimes() Experiment {
 						rounds int
 						ok     bool
 					}
-					runJobs(cfg, fmt.Sprintf("E14 %s n=%d", fam.name, n), trials, cfg.Seed+uint64(n),
+					RunJobs(cfg, fmt.Sprintf("E14 %s n=%d", fam.name, n), trials, cfg.Seed+uint64(n),
 						func(rc *engine.RunContext, _ int, seed uint64) any {
 							g := fam.gen(n, seed)
 							p := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed), mis.WithLocalTimes())

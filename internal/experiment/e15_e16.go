@@ -53,7 +53,7 @@ func e15TopologyChurn() Experiment {
 				ok    bool
 				recs  []churnRec
 			}
-			runJobs(cfg, "E15 churn", trials, cfg.Seed+31,
+			RunJobs(cfg, "E15 churn", trials, cfg.Seed+31,
 				func(rc *engine.RunContext, t int, seed uint64) any {
 					g := graph.GnpAvgDegree(n, 12, xrand.New(seed))
 					p := mis.NewTwoState(g, mis.WithRunContext(rc), mis.WithSeed(seed))
@@ -144,7 +144,7 @@ func e16MISQuality() Experiment {
 				}
 				// One pool job per trial; the payload maps algorithm → MIS
 				// size (absent when a process failed to stabilize).
-				runJobs(cfg, "E16 quality "+fam.name, trials, cfg.Seed+41,
+				RunJobs(cfg, "E16 quality "+fam.name, trials, cfg.Seed+41,
 					func(rc *engine.RunContext, _ int, seed uint64) any {
 						sizes := map[string]float64{}
 						g := fam.gen(seed)

@@ -60,7 +60,7 @@ func e17RestartScheme() Experiment {
 					restart, two    float64
 					restartOK, two2 bool
 				}
-				runJobs(cfg, "E17 restart "+w.name, trials, cfg.Seed+71,
+				RunJobs(cfg, "E17 restart "+w.name, trials, cfg.Seed+71,
 					func(rc *engine.RunContext, _ int, seed uint64) any {
 						g := w.gen(seed)
 						r := baseline.NewRestartMIS(g, 3, 7, seed)

@@ -8,19 +8,42 @@ package experiment
 // daemon mode lets us measure this directly — and exposes a sharp contrast
 // the paper does not dwell on: the 3-state rule's demotion is reactive, so
 // an unfair (adversarial central) daemon can starve it into a livelock.
+//
+// The measurement itself is the shared daemon-matrix sweep shape
+// (daemonmatrix.go); this file only supplies E18's spec, so a scenario
+// file declaring the same spec reproduces this table byte for byte.
 
 import (
-	"fmt"
-	"math"
-
-	"ssmis/internal/engine"
 	"ssmis/internal/graph"
-	"ssmis/internal/mis"
-	"ssmis/internal/sched"
-	"ssmis/internal/stats"
-	"ssmis/internal/verify"
 	"ssmis/internal/xrand"
 )
+
+// e18Spec is E18's daemon-matrix declaration, shared with the golden tests
+// that pin the scenario re-expression against it.
+func e18Spec() DaemonMatrixSpec {
+	return DaemonMatrixSpec{
+		TitleFormat: "E18: daemon-scheduled stabilization, G(n, avg8), n=%d, %d trials",
+		Label:       "E18",
+		Family: GraphFamily{
+			Name: "gnp-avg",
+			Build: func(n int, seed uint64) *graph.Graph {
+				return graph.GnpAvgDegree(n, 8, xrand.New(seed))
+			},
+		},
+		N:              ScaledSize{Base: 512, Min: 128},
+		TrialsBase:     20,
+		Kinds:          []Kind{KindTwoState, KindThreeState},
+		KindSeedOffset: 18,
+		Sequential:     true,
+		SeqSeedOffset:  81,
+		Notes: []string{
+			"2-state stabilizes under every daemon incl. adversarial (the [28,31] claim); ~1 move/vertex under central daemons",
+			"3-state livelocks under central-adversarial: its black0→white demotion is reactive and the starved neighbor never fires",
+			"the livelock exists only at k=∞: the k-fair:4 row (adversarial within a 4-step fairness window) restores 3-state stabilization — boundary pinned by internal/mis's daemon fairness tests",
+			"seq-det rows: the sequential deterministic rule stabilizes in ≤ 2 moves/vertex under central daemons ([28, 20]) but livelocks under the synchronous daemon — the reason the parallel process randomizes; seq-rand restores stabilization under every daemon, side-by-side with its parallelization (the 2-state rows)",
+		},
+	}
+}
 
 func e18DaemonSchedules() Experiment {
 	return Experiment{
@@ -28,180 +51,7 @@ func e18DaemonSchedules() Experiment {
 		Title: "Randomized processes under daemon schedules",
 		Claim: "§1/Appendix A (after [28, 31]): randomizing the sequential MIS rule's moves restores stabilization with probability 1 under any daemon; under the synchronous daemon the randomized rule is the 2-state process. Contrast: the 3-state rule's reactive demotion livelocks under the adversarial central daemon",
 		Run: func(cfg Config) []Table {
-			cfg = cfg.normalized()
-			trials := cfg.trials(20)
-			n := int(512 * math.Min(cfg.Scale*2, 1))
-			if n < 128 {
-				n = 128
-			}
-			gen := func(seed uint64) *graph.Graph {
-				return graph.GnpAvgDegree(n, 8, xrand.New(seed))
-			}
-			t := Table{
-				Title: fmt.Sprintf("E18: daemon-scheduled stabilization, G(n, avg8), n=%d, %d trials", n, trials),
-				Columns: []string{"process", "daemon", "moves/vertex mean", "moves/vertex max",
-					"steps mean", "stabilized"},
-			}
-			type procCase struct {
-				kind Kind
-				mk   func(g *graph.Graph, seed uint64) mis.DaemonRunner
-			}
-			cases := []procCase{
-				{KindTwoState, func(g *graph.Graph, seed uint64) mis.DaemonRunner {
-					return mis.NewTwoState(g, mis.WithSeed(seed))
-				}},
-				{KindThreeState, func(g *graph.Graph, seed uint64) mis.DaemonRunner {
-					return mis.NewThreeState(g, mis.WithSeed(seed))
-				}},
-			}
-			for _, pc := range cases {
-				for _, dname := range sched.DaemonNames() {
-					movesPerV, steps := stats.NewStream(), stats.NewStream()
-					failed := 0
-					// The known livelock case would burn the full step cap on
-					// every trial; keep one cheap demonstration row instead.
-					livelock := pc.kind == KindThreeState && dname == "central-adversarial"
-					rowTrials := trials
-					if livelock {
-						rowTrials = 3
-					}
-					// One pool job per trial (daemon runs are long chains of
-					// tiny steps — exactly the cells that profit from spreading
-					// across the pool).
-					type daemonOutcome struct {
-						movesPerV, steps float64
-						ok               bool
-					}
-					runJobs(cfg, fmt.Sprintf("E18 %v/%s", pc.kind, dname), rowTrials, cfg.Seed+18,
-						func(_ *engine.RunContext, _ int, seed uint64) any {
-							g := gen(seed)
-							d, err := sched.DaemonByName(dname)
-							if err != nil {
-								panic(err)
-							}
-							p := pc.mk(g, seed)
-							stepCap := mis.DefaultDaemonStepCap(g.N())
-							if livelock {
-								stepCap = 200 * g.N()
-							}
-							st, ok := p.DaemonRun(d, stepCap)
-							if !ok || verify.MIS(g, p.Black) != nil {
-								return daemonOutcome{}
-							}
-							return daemonOutcome{
-								movesPerV: float64(p.Moves()) / float64(g.N()),
-								steps:     float64(st),
-								ok:        true,
-							}
-						},
-						func(_ int, payload any) {
-							o := payload.(daemonOutcome)
-							if !o.ok {
-								failed++
-								return
-							}
-							movesPerV.Add(o.movesPerV)
-							steps.Add(o.steps)
-						})
-					if movesPerV.N() == 0 {
-						status := fmt.Sprintf("0/%d", rowTrials)
-						if livelock {
-							status += " (livelock)"
-						}
-						t.AddRow(pc.kind.String(), dname, "-", "-", "-", status)
-						continue
-					}
-					status := fmt.Sprintf("%d/%d", rowTrials-failed, rowTrials)
-					t.AddRow(pc.kind.String(), dname, movesPerV.Mean(), movesPerV.Max(), steps.Mean(), status)
-				}
-			}
-			// The sequential baseline the paper parallelizes ([28, 20]),
-			// deterministic and randomized, under the same daemon set —
-			// side-by-side moves/vertex against the parallel processes
-			// (ROADMAP "sequential baseline's full daemon matrix").
-			type seqCase struct {
-				name       string
-				randomized bool
-				// livelock marks the known non-stabilizing daemon: the
-				// deterministic rule under the synchronous daemon (two
-				// adjacent actives flip together forever) — the reason the
-				// parallel process must randomize. A cheap demonstration row
-				// replaces burning the full step cap every trial.
-				livelock map[string]bool
-			}
-			seqCases := []seqCase{
-				{name: "seq-det [28,20]", livelock: map[string]bool{"synchronous": true}},
-				{name: "seq-rand [28,31]", randomized: true},
-			}
-			for _, sc := range seqCases {
-				for _, dname := range sched.DaemonNames() {
-					movesPerV, steps := stats.NewStream(), stats.NewStream()
-					failed := 0
-					livelock := sc.livelock[dname]
-					rowTrials := trials
-					if livelock {
-						rowTrials = 3
-					}
-					type daemonOutcome struct {
-						movesPerV, steps float64
-						ok               bool
-					}
-					runJobs(cfg, fmt.Sprintf("E18 %s/%s", sc.name, dname), rowTrials, cfg.Seed+81,
-						func(_ *engine.RunContext, _ int, seed uint64) any {
-							g := gen(seed)
-							d, err := sched.DaemonByName(dname)
-							if err != nil {
-								panic(err)
-							}
-							var opts []sched.Option
-							if sc.randomized {
-								opts = append(opts, sched.Randomized())
-							}
-							s := sched.NewSequential(g, d, seed, opts...)
-							stepCap := mis.DefaultDaemonStepCap(g.N())
-							if livelock {
-								// A synchronous step is a full round; the
-								// round-cap scale suffices to exhibit it.
-								stepCap = 4 * mis.DefaultRoundCap(g.N())
-							}
-							st, ok := s.Run(stepCap)
-							if !ok || verify.MIS(g, s.Black) != nil {
-								return daemonOutcome{}
-							}
-							return daemonOutcome{
-								movesPerV: float64(s.Moves()) / float64(g.N()),
-								steps:     float64(st),
-								ok:        true,
-							}
-						},
-						func(_ int, payload any) {
-							o := payload.(daemonOutcome)
-							if !o.ok {
-								failed++
-								return
-							}
-							movesPerV.Add(o.movesPerV)
-							steps.Add(o.steps)
-						})
-					if movesPerV.N() == 0 {
-						status := fmt.Sprintf("0/%d", rowTrials)
-						if livelock {
-							status += " (livelock)"
-						}
-						t.AddRow(sc.name, dname, "-", "-", "-", status)
-						continue
-					}
-					status := fmt.Sprintf("%d/%d", rowTrials-failed, rowTrials)
-					t.AddRow(sc.name, dname, movesPerV.Mean(), movesPerV.Max(), steps.Mean(), status)
-				}
-			}
-			t.Notes = append(t.Notes,
-				"2-state stabilizes under every daemon incl. adversarial (the [28,31] claim); ~1 move/vertex under central daemons",
-				"3-state livelocks under central-adversarial: its black0→white demotion is reactive and the starved neighbor never fires",
-				"the livelock exists only at k=∞: the k-fair:4 row (adversarial within a 4-step fairness window) restores 3-state stabilization — boundary pinned by internal/mis's daemon fairness tests",
-				"seq-det rows: the sequential deterministic rule stabilizes in ≤ 2 moves/vertex under central daemons ([28, 20]) but livelocks under the synchronous daemon — the reason the parallel process randomizes; seq-rand restores stabilization under every daemon, side-by-side with its parallelization (the 2-state rows)",
-			)
-			return []Table{t}
+			return []Table{RunDaemonMatrix(cfg, e18Spec())}
 		},
 	}
 }

@@ -41,16 +41,16 @@ func e19AsyncDrift() Experiment {
 			side := graph.ISqrt(n)
 			families := []struct {
 				name string
-				gen  graphGen
+				gen  GraphGen
 			}{
-				{"gnp-avg8", perSeed(func(seed uint64) *graph.Graph {
+				{"gnp-avg8", PerSeed(func(seed uint64) *graph.Graph {
 					return graph.GnpAvgDegree(n, 8, xrand.New(seed))
 				})},
-				{"tree", perSeed(func(seed uint64) *graph.Graph {
+				{"tree", PerSeed(func(seed uint64) *graph.Graph {
 					return graph.RandomTree(n, xrand.New(seed))
 				})},
-				{"grid", fixedGraph(graph.Grid(side, side))},
-				{"cliques", fixedGraph(graph.DisjointCliques(side, side))},
+				{"grid", FixedGraph(graph.Grid(side, side))},
+				{"cliques", FixedGraph(graph.DisjointCliques(side, side))},
 			}
 			rhos := []float64{1, 1.5, 2, 3}
 			t := Table{
@@ -69,9 +69,9 @@ func e19AsyncDrift() Experiment {
 						rounds, skew := stats.NewStream(), stats.NewStream()
 						failed, syncSame := 0, 0
 						checkSync := rho == 1
-						runJobs(cfg, fmt.Sprintf("E19 %v/%s ρ=%g", kind, fam.name, rho), trials, cfg.Seed+19,
+						RunJobs(cfg, fmt.Sprintf("E19 %v/%s ρ=%g", kind, fam.name, rho), trials, cfg.Seed+19,
 							func(_ *engine.RunContext, _ int, seed uint64) any {
-								g := fam.gen.at(seed)
+								g := fam.gen.At(seed)
 								limit := 8 * mis.DefaultRoundCap(g.N())
 								drift := async.NewBounded(rho)
 								var (

@@ -55,6 +55,12 @@ type Config struct {
 	IdentityOrder bool
 }
 
+// ProcOpts prepends the configuration-level process options (the
+// scalar-engine and identity-order switches) to a cell's own options; every
+// runner that constructs a process directly must route its options through
+// here so the -scalar and -identity-order invariance smokes cover it.
+func (c Config) ProcOpts(opts ...mis.Option) []mis.Option { return c.procOpts(opts...) }
+
 // procOpts prepends the configuration-level process options (the
 // scalar-engine and identity-order switches) to a cell's own options.
 func (c Config) procOpts(opts ...mis.Option) []mis.Option {

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"ssmis/internal/graph"
+	"ssmis/internal/mis"
+)
+
+// Kind selects a process family.
+type Kind int
+
+// Process families.
+const (
+	KindTwoState Kind = iota + 1
+	KindThreeState
+	KindThreeColor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTwoState:
+		return "2-state"
+	case KindThreeState:
+		return "3-state"
+	case KindThreeColor:
+		return "3-color"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the process families in presentation order.
+func Kinds() []Kind { return []Kind{KindTwoState, KindThreeState, KindThreeColor} }
+
+// KindNames lists the canonical process-family names (the String forms).
+func KindNames() []string {
+	names := make([]string, 0, 3)
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	return names
+}
+
+// ParseKind is the inverse of Kind.String. It accepts the canonical
+// hyphenated names ("2-state") and, for CLI convenience, the compact
+// spellings the misrun -proc flag has always used ("2state"); anything else
+// errors with the list of valid names.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ReplaceAll(strings.TrimSpace(name), "-", "") {
+	case "2state":
+		return KindTwoState, nil
+	case "3state":
+		return KindThreeState, nil
+	case "3color":
+		return KindThreeColor, nil
+	}
+	return 0, fmt.Errorf("experiment: unknown process kind %q (valid: %s)",
+		name, strings.Join(KindNames(), ", "))
+}
+
+// NewProcess instantiates a process of the given kind.
+func NewProcess(k Kind, g *graph.Graph, opts ...mis.Option) mis.Process {
+	switch k {
+	case KindTwoState:
+		return mis.NewTwoState(g, opts...)
+	case KindThreeState:
+		return mis.NewThreeState(g, opts...)
+	case KindThreeColor:
+		return mis.NewThreeColor(g, opts...)
+	default:
+		panic(fmt.Sprintf("experiment: unknown kind %v", k))
+	}
+}

@@ -14,71 +14,34 @@ import (
 	"ssmis/internal/xrand"
 )
 
-// Kind selects a process family.
-type Kind int
-
-// Process families.
-const (
-	KindTwoState Kind = iota + 1
-	KindThreeState
-	KindThreeColor
-)
-
-func (k Kind) String() string {
-	switch k {
-	case KindTwoState:
-		return "2-state"
-	case KindThreeState:
-		return "3-state"
-	case KindThreeColor:
-		return "3-color"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// newProcess instantiates a process of the given kind.
-func newProcess(k Kind, g *graph.Graph, opts ...mis.Option) mis.Process {
-	switch k {
-	case KindTwoState:
-		return mis.NewTwoState(g, opts...)
-	case KindThreeState:
-		return mis.NewThreeState(g, opts...)
-	case KindThreeColor:
-		return mis.NewThreeColor(g, opts...)
-	default:
-		panic(fmt.Sprintf("experiment: unknown kind %v", k))
-	}
-}
-
-// graphGen describes how a cell obtains its graphs: one fixed graph — built
+// GraphGen describes how a cell obtains its graphs: one fixed graph — built
 // once and shared read-only across every trial by the batch scheduler's
 // shard mechanism — or a fresh graph drawn per trial seed.
-type graphGen struct {
+type GraphGen struct {
 	fixed *graph.Graph
 	gen   func(seed uint64) *graph.Graph
 }
 
-// fixedGraph adapts a pre-built graph: all trials share it.
-func fixedGraph(g *graph.Graph) graphGen { return graphGen{fixed: g} }
+// FixedGraph adapts a pre-built graph: all trials share it.
+func FixedGraph(g *graph.Graph) GraphGen { return GraphGen{fixed: g} }
 
-// perSeed adapts a random graph family: trial t samples gen(seed_t).
-func perSeed(gen func(seed uint64) *graph.Graph) graphGen { return graphGen{gen: gen} }
+// PerSeed adapts a random graph family: trial t samples gen(seed_t).
+func PerSeed(gen func(seed uint64) *graph.Graph) GraphGen { return GraphGen{gen: gen} }
 
-// at materializes the graph for one seed (custom per-trial loops).
-func (g graphGen) at(seed uint64) *graph.Graph {
+// At materializes the graph for one seed (custom per-trial loops).
+func (g GraphGen) At(seed uint64) *graph.Graph {
 	if g.fixed != nil {
 		return g.fixed
 	}
 	return g.gen(seed)
 }
 
-// measurement is a stabilization-time sample set plus bookkeeping. The
+// Measurement is a stabilization-time sample set plus bookkeeping. The
 // samples live in streaming accumulators (Welford mean/CI, counting-map
 // quantiles), fed in trial order by the scheduler's in-order delivery, so a
 // cell never materializes per-run slices and its numbers are independent of
 // the pool's worker count.
-type measurement struct {
+type Measurement struct {
 	rounds    *stats.Stream // quantile stream over stabilization rounds
 	bits      *stats.Stream // plain stream over random-bit totals
 	failures  int           // runs that hit the round cap
@@ -86,22 +49,39 @@ type measurement struct {
 	trials    int
 }
 
-func newMeasurement(trials int) *measurement {
-	return &measurement{
+// NewMeasurement returns an empty measurement expecting the given trial
+// count (custom aggregation loops — compiled scenarios on non-simulator
+// runtimes — feed it through Add).
+func NewMeasurement(trials int) *Measurement {
+	return &Measurement{
 		rounds: stats.NewQuantileStream(),
 		bits:   stats.NewStream(),
 		trials: trials,
 	}
 }
 
-// count returns the number of successful runs aggregated so far.
-func (m *measurement) count() int { return m.rounds.N() }
+// Count returns the number of successful runs aggregated so far.
+func (m *Measurement) Count() int { return m.rounds.N() }
 
-// summary of the round samples; panics if all trials failed.
-func (m *measurement) summary() stats.Summary { return m.rounds.Summary() }
+// Summary of the round samples; panics if all trials failed.
+func (m *Measurement) Summary() stats.Summary { return m.rounds.Summary() }
 
-// add folds one scheduler outcome into the aggregates.
-func (m *measurement) add(o batch.Outcome) {
+// Failures returns the number of runs that hit the round cap.
+func (m *Measurement) Failures() int { return m.failures }
+
+// Broken returns the number of stabilized runs whose black set failed MIS
+// verification (any nonzero value is a simulator bug).
+func (m *Measurement) Broken() int { return m.misBroken }
+
+// Trials returns the trial count the measurement was created with.
+func (m *Measurement) Trials() int { return m.trials }
+
+// RoundsValues returns the per-run stabilization-round samples in trial
+// order (the tail-analysis input; allocates a copy).
+func (m *Measurement) RoundsValues() []float64 { return m.rounds.Values() }
+
+// Add folds one scheduler outcome into the aggregates.
+func (m *Measurement) Add(o batch.Outcome) {
 	switch {
 	case o.Failed:
 		m.failures++
@@ -113,9 +93,9 @@ func (m *measurement) add(o batch.Outcome) {
 	}
 }
 
-// trialSeeds derives the harness's standard per-trial seeds: trial t uses
+// TrialSeeds derives the harness's standard per-trial seeds: trial t uses
 // xrand.New(masterSeed).Split(t).Uint64().
-func trialSeeds(masterSeed uint64, trials int) []uint64 {
+func TrialSeeds(masterSeed uint64, trials int) []uint64 {
 	master := xrand.New(masterSeed)
 	seeds := make([]uint64, trials)
 	for t := range seeds {
@@ -124,17 +104,17 @@ func trialSeeds(masterSeed uint64, trials int) []uint64 {
 	return seeds
 }
 
-// runTrials measures the stabilization time of `kind` over `trials` runs on
+// RunTrials measures the stabilization time of `kind` over `trials` runs on
 // graphs produced by gen, submitted as one shard to the configuration's
 // shared work-stealing pool. Fixed graphs are built once and shared
 // read-only across the shard; per-seed families sample inside the job.
 // Results are deterministic regardless of scheduling: every trial derives
 // from its own seed and outcomes aggregate in trial order.
-func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *measurement {
+func RunTrials(cfg Config, kind Kind, gen GraphGen, trials int, roundCap int, masterSeed uint64, opts ...mis.Option) *Measurement {
 	start := time.Now()
 	label := fmt.Sprintf("%v trials=%d seed=%d", kind, trials, masterSeed)
 	sh := batch.Shard{
-		Seeds: trialSeeds(masterSeed, trials),
+		Seeds: TrialSeeds(masterSeed, trials),
 		Run: func(rc *engine.RunContext, g *graph.Graph, _ int, seed uint64) batch.Outcome {
 			if g == nil {
 				g = gen.gen(seed)
@@ -143,7 +123,7 @@ func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, ma
 			if limit <= 0 {
 				limit = mis.DefaultRoundCap(g.N())
 			}
-			p := newProcess(kind, g, append([]mis.Option{mis.WithRunContext(rc), mis.WithSeed(seed)}, cfg.procOpts(opts...)...)...)
+			p := NewProcess(kind, g, append([]mis.Option{mis.WithRunContext(rc), mis.WithSeed(seed)}, cfg.procOpts(opts...)...)...)
 			res := mis.Run(p, limit)
 			switch {
 			case !res.Stabilized:
@@ -158,7 +138,7 @@ func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, ma
 		g := gen.fixed
 		sh.Build = func() *graph.Graph { return g }
 	}
-	m := newMeasurement(trials)
+	m := NewMeasurement(trials)
 	// With a sweep checkpoint attached, the cell's journaled prefix replays
 	// through the reorder buffer instead of re-running, and new in-order
 	// deliveries extend the journal (checkpoint.go).
@@ -166,27 +146,27 @@ func runTrials(cfg Config, kind Kind, gen graphGen, trials int, roundCap int, ma
 	if cfg.Checkpoint != nil {
 		opt.Replay, opt.Record = cfg.Checkpoint.cell(label, trials)
 	}
-	cfg.pool().SubmitOpts([]batch.Shard{sh}, opt, m.add).Wait()
+	cfg.pool().SubmitOpts([]batch.Shard{sh}, opt, m.Add).Wait()
 	cfg.logCell(label, trials, time.Since(start))
 	return m
 }
 
-// runJobs submits one pool job per trial for cells that measure something
+// RunJobs submits one pool job per trial for cells that measure something
 // other than plain stabilization times: trial t runs job(rc, t, seed_t) on
-// a worker (seed derivation as in runTrials) and its payload is handed
+// a worker (seed derivation as in RunTrials) and its payload is handed
 // back, in trial order, to collect. The harness's custom per-trial loops
 // (runtime equivalence, churn chains, fault attacks, daemon schedules, ...)
 // all route through here so a missweep invocation keeps every worker busy
 // across experiment boundaries.
-func runJobs(cfg Config, label string, trials int, masterSeed uint64,
+func RunJobs(cfg Config, label string, trials int, masterSeed uint64,
 	job func(rc *engine.RunContext, t int, seed uint64) any,
 	collect func(t int, payload any)) {
-	runJobsOver(cfg, label, trialSeeds(masterSeed, trials), job, collect)
+	RunJobsOver(cfg, label, TrialSeeds(masterSeed, trials), job, collect)
 }
 
-// runJobsOver is runJobs with an explicit seed list (one job per entry; job
+// RunJobsOver is RunJobs with an explicit seed list (one job per entry; job
 // t receives seeds[t]).
-func runJobsOver(cfg Config, label string, seeds []uint64,
+func RunJobsOver(cfg Config, label string, seeds []uint64,
 	job func(rc *engine.RunContext, t int, seed uint64) any,
 	collect func(t int, payload any)) {
 	start := time.Now()
@@ -202,13 +182,13 @@ func runJobsOver(cfg Config, label string, seeds []uint64,
 	cfg.logCell(label, len(seeds), time.Since(start))
 }
 
-// scalingRow formats the standard scaling columns for a measurement at size n.
-func scalingRow(t *Table, n int, m *measurement) {
-	if m.count() == 0 {
+// ScalingRow formats the standard scaling columns for a Measurement at size n.
+func ScalingRow(t *Table, n int, m *Measurement) {
+	if m.Count() == 0 {
 		t.AddRow(n, "-", "-", "-", "-", "-", "-", fmt.Sprintf("%d/%d FAILED", m.failures, m.trials))
 		return
 	}
-	s := m.summary()
+	s := m.Summary()
 	ln := math.Log(float64(n))
 	status := "ok"
 	if m.failures > 0 {
@@ -220,14 +200,14 @@ func scalingRow(t *Table, n int, m *measurement) {
 	t.AddRow(n, s.Mean, s.MeanCI95(), s.Median, s.Max, s.Mean/ln, s.Max/(ln*ln), status)
 }
 
-// scalingColumns is the header matching scalingRow.
-func scalingColumns() []string {
+// ScalingColumns is the header matching ScalingRow.
+func ScalingColumns() []string {
 	return []string{"n", "mean", "±95%", "median", "max", "mean/ln n", "max/ln² n", "status"}
 }
 
-// polylogNote fits T ≈ c·ln^k n to the per-size means and renders the claim
+// PolylogNote fits T ≈ c·ln^k n to the per-size means and renders the claim
 // check note.
-func polylogNote(ns []int, means []float64) string {
+func PolylogNote(ns []int, means []float64) string {
 	if len(ns) < 2 {
 		return "too few sizes for a fit"
 	}

@@ -1,0 +1,170 @@
+package scenario
+
+// The versioned JSON codec, mirroring internal/snapshot's loud-rejection
+// style: a scenario file carries an explicit format version, unknown fields
+// and unknown unit types are REJECTED (not skipped), trailing data is
+// rejected, and every decode ends in Validate — a file that decodes is a
+// file that compiles. Silently accepting a typo'd axis name and running the
+// wrong measurement is this layer's one forbidden failure mode.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Version is the scenario file format version. Decode accepts exactly this
+// version: there is no migration path, matching the snapshot codec — a
+// scenario is cheap to rewrite against a new vocabulary, and a silent
+// best-effort read could run the wrong cells.
+const Version = 1
+
+var (
+	// ErrVersion marks a scenario file from a different format version (or
+	// one missing the version field entirely).
+	ErrVersion = errors.New("scenario: format version mismatch")
+	// ErrSyntax marks malformed scenario JSON: bad syntax, unknown fields,
+	// unknown unit types, wrong value types, or trailing data.
+	ErrSyntax = errors.New("scenario: malformed document")
+)
+
+// fileDoc is the top-level wire shape; units stay raw for the two-pass
+// tagged-union decode.
+type fileDoc struct {
+	Version int               `json:"scenario"`
+	Name    string            `json:"name"`
+	Title   string            `json:"title,omitempty"`
+	Claim   string            `json:"claim,omitempty"`
+	Units   []json.RawMessage `json:"units"`
+}
+
+// Decode parses and validates a scenario document. Errors are typed:
+// ErrVersion for version skew, ErrSyntax for structural damage, and
+// *ValidationError for a well-formed document naming invalid axes.
+func Decode(data []byte) (*Scenario, error) {
+	var doc fileDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after the scenario object", ErrSyntax)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: file says %d, this build reads %d", ErrVersion, doc.Version, Version)
+	}
+	s := &Scenario{Name: doc.Name, Title: doc.Title, Claim: doc.Claim}
+	for i, raw := range doc.Units {
+		u, err := decodeUnit(raw)
+		if err != nil {
+			return nil, fmt.Errorf("unit %d: %w", i, err)
+		}
+		s.Units = append(s.Units, u)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeUnit resolves the "type" tag, then strict-decodes the whole object
+// against that unit type's shape — so a daemon-matrix field on a scaling
+// unit is an unknown-field error, not silently dropped.
+func decodeUnit(raw json.RawMessage) (Unit, error) {
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return Unit{}, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	strict := func(v any) error {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return fmt.Errorf("%w: %s unit: %v", ErrSyntax, head.Type, err)
+		}
+		return nil
+	}
+	switch head.Type {
+	case "scaling":
+		u := &ScalingUnit{}
+		if err := strict(u); err != nil {
+			return Unit{}, err
+		}
+		return Unit{Scaling: u}, nil
+	case "daemon-matrix":
+		u := &DaemonMatrixUnit{}
+		if err := strict(u); err != nil {
+			return Unit{}, err
+		}
+		return Unit{DaemonMatrix: u}, nil
+	case "fault":
+		u := &FaultUnit{}
+		if err := strict(u); err != nil {
+			return Unit{}, err
+		}
+		return Unit{Fault: u}, nil
+	default:
+		return Unit{}, fmt.Errorf("%w: unknown unit type %q (valid: %s)",
+			ErrSyntax, head.Type, strings.Join(UnitTypeNames(), ", "))
+	}
+}
+
+// Encode validates and serializes the scenario as indented canonical JSON
+// (map keys sorted by encoding/json); Decode(Encode(s)) plans identically
+// to s.
+func Encode(s *Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	doc := fileDoc{Version: Version, Name: s.Name, Title: s.Title, Claim: s.Claim}
+	for i, u := range s.Units {
+		raw, err := encodeUnit(u)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: encode unit %d: %w", i, err)
+		}
+		doc.Units = append(doc.Units, raw)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// encodeUnit serializes the populated member with its type tag pinned.
+func encodeUnit(u Unit) (json.RawMessage, error) {
+	switch {
+	case u.Scaling != nil:
+		v := *u.Scaling
+		v.Type = "scaling"
+		return json.MarshalIndent(v, "    ", "  ")
+	case u.DaemonMatrix != nil:
+		v := *u.DaemonMatrix
+		v.Type = "daemon-matrix"
+		return json.MarshalIndent(v, "    ", "  ")
+	case u.Fault != nil:
+		v := *u.Fault
+		v.Type = "fault"
+		return json.MarshalIndent(v, "    ", "  ")
+	default:
+		return nil, errors.New("empty unit")
+	}
+}
+
+// Load reads and decodes one scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,59 @@
+package scenario
+
+// Every checked-in example scenario must decode, validate and compile; the
+// basic one also runs end to end at tiny scale through the shared pool path.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssmis/internal/batch"
+	"ssmis/internal/experiment"
+)
+
+func TestExampleScenarioFilesCompile(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("found only %d example scenarios, want the checked-in set", len(paths))
+	}
+	for _, path := range paths {
+		s, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if _, err := s.Compile(); err != nil {
+			t.Errorf("%s: compile: %v", path, err)
+		}
+		if _, err := s.Plan(); err != nil {
+			t.Errorf("%s: plan: %v", path, err)
+		}
+	}
+}
+
+func TestBasicExampleRuns(t *testing.T) {
+	s, err := Load("../../examples/scenarios/basic.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := batch.NewPool(4)
+	defer pool.Close()
+	tables := exp.Run(experiment.Config{Scale: 0.05, Seed: 2023, Pool: pool})
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want scaling + tail", len(tables))
+	}
+	if out := tables[0].Render(); !strings.Contains(out, "2-state on G(n, avg4)") {
+		t.Errorf("scaling table missing title:\n%s", out)
+	}
+	if out := tables[1].Render(); !strings.Contains(out, "geometric tail") {
+		t.Errorf("tail table missing title:\n%s", out)
+	}
+}

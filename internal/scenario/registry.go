@@ -1,0 +1,296 @@
+package scenario
+
+// The closed vocabularies a scenario names its axes from. Every registry
+// entry resolves to the exact constructor the hand-coded experiments call,
+// so a scenario naming an experiment's axes reproduces its cells: the
+// registries are the naming layer, not a parallel implementation.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ssmis/internal/experiment"
+	"ssmis/internal/graph"
+	"ssmis/internal/sched"
+	"ssmis/internal/xrand"
+)
+
+// Param declares one graph-family parameter.
+type Param struct {
+	Name string
+	Desc string
+	// Required parameters must be bound; optional ones fall back to Default.
+	Required bool
+	Default  float64
+	// Int requires a whole-number value.
+	Int bool
+	// Min/Max bound the accepted values; Max 0 means unbounded above.
+	Min, Max float64
+}
+
+// Family is a registered graph family: a named, parameterized, seedable
+// constructor.
+type Family struct {
+	Name string
+	Desc string
+	// Det marks deterministic families (the build ignores its seed); their
+	// cells submit as fixed shards.
+	Det    bool
+	Params []Param
+	build  func(n int, p map[string]float64, seed uint64) *graph.Graph
+}
+
+// Families lists the registered graph families in presentation order.
+func Families() []Family {
+	return []Family{
+		{Name: "complete", Desc: "complete graph K_n", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph { return graph.Complete(n) }},
+		{Name: "path", Desc: "path P_n", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph { return graph.Path(n) }},
+		{Name: "cycle", Desc: "cycle C_n", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph { return graph.Cycle(n) }},
+		{Name: "star", Desc: "star K_{1,n-1}", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph { return graph.Star(n) }},
+		{Name: "grid", Desc: "⌊√n⌋×⌊√n⌋ grid", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph {
+				s := int(math.Sqrt(float64(n)))
+				return graph.Grid(s, s)
+			}},
+		{Name: "torus", Desc: "⌊√n⌋×⌊√n⌋ torus", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph {
+				s := int(math.Sqrt(float64(n)))
+				return graph.Torus(s, s)
+			}},
+		{Name: "caterpillar", Desc: "caterpillar tree: spine of ⌊n/(legs+1)⌋ segments", Det: true,
+			Params: []Param{{Name: "legs", Desc: "legs per spine vertex", Default: 8, Int: true, Min: 1}},
+			build: func(n int, p map[string]float64, _ uint64) *graph.Graph {
+				legs := int(p["legs"])
+				return graph.Caterpillar(n/(legs+1), legs)
+			}},
+		{Name: "disjoint-cliques", Desc: "⌊√n⌋ disjoint cliques of size ⌊√n⌋", Det: true,
+			build: func(n int, _ map[string]float64, _ uint64) *graph.Graph {
+				s := graph.ISqrt(n)
+				return graph.DisjointCliques(s, s)
+			}},
+		{Name: "random-tree", Desc: "random recursive tree",
+			build: func(n int, _ map[string]float64, seed uint64) *graph.Graph {
+				return graph.RandomTree(n, xrand.New(seed))
+			}},
+		{Name: "prufer-tree", Desc: "uniform labeled tree (Prüfer sequence)",
+			build: func(n int, _ map[string]float64, seed uint64) *graph.Graph {
+				return graph.UniformLabeledTree(n, xrand.New(seed))
+			}},
+		{Name: "gnp", Desc: "Erdős–Rényi G(n,p)",
+			Params: []Param{{Name: "p", Desc: "edge probability", Required: true, Max: 1}},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.Gnp(n, p["p"], xrand.New(seed))
+			}},
+		{Name: "gnp-avg", Desc: "G(n,p) at a fixed average degree",
+			Params: []Param{{Name: "avgdeg", Desc: "average degree", Required: true}},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.GnpAvgDegree(n, p["avgdeg"], xrand.New(seed))
+			}},
+		{Name: "chung-lu", Desc: "Chung–Lu power-law graph",
+			Params: []Param{
+				{Name: "beta", Desc: "power-law exponent", Default: 2.3, Min: 2},
+				{Name: "avgdeg", Desc: "average degree", Required: true},
+			},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.ChungLu(n, p["beta"], p["avgdeg"], xrand.New(seed))
+			}},
+		{Name: "random-regular", Desc: "random d-regular graph (n·degree must be even)",
+			Params: []Param{{Name: "degree", Desc: "vertex degree", Required: true, Int: true, Min: 1}},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.RandomRegular(n, int(p["degree"]), xrand.New(seed))
+			}},
+		{Name: "degeneracy", Desc: "random graph of bounded degeneracy",
+			Params: []Param{{Name: "k", Desc: "degeneracy bound", Required: true, Int: true, Min: 1}},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.BoundedDegeneracyRandom(n, int(p["k"]), xrand.New(seed))
+			}},
+		{Name: "watts-strogatz", Desc: "Watts–Strogatz small world",
+			Params: []Param{
+				{Name: "k", Desc: "ring neighbors (even)", Default: 4, Int: true, Min: 2},
+				{Name: "beta", Desc: "rewiring probability", Default: 0.1, Max: 1},
+			},
+			build: func(n int, p map[string]float64, seed uint64) *graph.Graph {
+				return graph.WattsStrogatz(n, int(p["k"]), p["beta"], xrand.New(seed))
+			}},
+	}
+}
+
+// FamilyNames lists the registered family names.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// FamilyByName resolves a registered family.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Bind validates the parameter bindings against the family's declarations
+// — unknown names, missing required parameters, fractional values for
+// integer parameters, and out-of-range values all error — and returns the
+// bound experiment.GraphFamily plus the fully resolved parameter map
+// (defaults filled in), which Plan renders.
+func (f Family) Bind(params map[string]float64) (experiment.GraphFamily, map[string]float64, error) {
+	resolved := make(map[string]float64, len(f.Params))
+	var issues []string
+	for name := range params {
+		if _, ok := f.param(name); !ok {
+			issues = append(issues, fmt.Sprintf("unknown parameter %q (valid: %s)", name, f.paramNames()))
+		}
+	}
+	for _, p := range f.Params {
+		v, bound := params[p.Name]
+		if !bound {
+			if p.Required {
+				issues = append(issues, fmt.Sprintf("parameter %q is required (%s)", p.Name, p.Desc))
+				continue
+			}
+			v = p.Default
+		}
+		if p.Int && v != math.Trunc(v) {
+			issues = append(issues, fmt.Sprintf("parameter %q must be a whole number, got %v", p.Name, v))
+		}
+		if v < p.Min {
+			issues = append(issues, fmt.Sprintf("parameter %q must be >= %v, got %v", p.Name, p.Min, v))
+		}
+		if p.Max != 0 && v > p.Max {
+			issues = append(issues, fmt.Sprintf("parameter %q must be <= %v, got %v", p.Name, p.Max, v))
+		}
+		resolved[p.Name] = v
+	}
+	if len(issues) > 0 {
+		return experiment.GraphFamily{}, nil, fmt.Errorf("graph family %q: %s", f.Name, strings.Join(issues, "; "))
+	}
+	build := f.build
+	return experiment.GraphFamily{
+		Name: f.Name,
+		Det:  f.Det,
+		Build: func(n int, seed uint64) *graph.Graph {
+			return build(n, resolved, seed)
+		},
+	}, resolved, nil
+}
+
+func (f Family) param(name string) (Param, bool) {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+func (f Family) paramNames() string {
+	if len(f.Params) == 0 {
+		return "none"
+	}
+	names := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// RuntimeNames lists the execution media.
+func RuntimeNames() []string { return []string{"sync", "beeping", "stone-age", "async"} }
+
+// RuntimeByName resolves a runtime name.
+func RuntimeByName(name string) (experiment.Runtime, bool) {
+	switch name {
+	case "sync":
+		return experiment.RuntimeSync, true
+	case "beeping":
+		return experiment.RuntimeBeeping, true
+	case "stone-age":
+		return experiment.RuntimeStoneAge, true
+	case "async":
+		return experiment.RuntimeAsync, true
+	default:
+		return 0, false
+	}
+}
+
+// DriftModelNames lists the async clock-drift models.
+func DriftModelNames() []string { return []string{"bounded", "eventual-sync", "adversarial"} }
+
+// Metric describes one registered metric name.
+type Metric struct {
+	Name string
+	Desc string
+}
+
+// Metrics lists the registered metrics and which unit reports them.
+func Metrics() []Metric {
+	return []Metric{
+		{Name: "rounds", Desc: "scaling units: stabilization rounds over the size ladder (the standard scaling table; always on)"},
+		{Name: "local-times", Desc: "scaling units, sync runtime: per-vertex coverage-stamp quantiles vs the global round count"},
+		{Name: "moves-per-vertex", Desc: "daemon-matrix units: moves per vertex and steps under each daemon (always on)"},
+		{Name: "recovery-rounds", Desc: "fault units: rounds to re-stabilize after each corruption adversary (always on)"},
+	}
+}
+
+// Vocabulary renders every registry for missweep -list: the unit types and
+// each axis with its valid names.
+func Vocabulary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario units: %s\n", strings.Join(UnitTypeNames(), ", "))
+	b.WriteString("graph families:\n")
+	for _, f := range Families() {
+		det := ""
+		if f.Det {
+			det = " [deterministic]"
+		}
+		fmt.Fprintf(&b, "  %-17s %s%s\n", f.Name, f.Desc, det)
+		for _, p := range f.Params {
+			req := fmt.Sprintf("default %v", p.Default)
+			if p.Required {
+				req = "required"
+			}
+			fmt.Fprintf(&b, "  %-17s   param %s: %s (%s)\n", "", p.Name, p.Desc, req)
+		}
+	}
+	fmt.Fprintf(&b, "processes: %s\n", strings.Join(experiment.KindNames(), ", "))
+	fmt.Fprintf(&b, "runtimes: %s (async needs a drift model: %s)\n",
+		strings.Join(RuntimeNames(), ", "), strings.Join(DriftModelNames(), ", "))
+	fmt.Fprintf(&b, "daemons: %s\n", strings.Join(sched.DaemonNames(), ", "))
+	fmt.Fprintf(&b, "fault adversaries: %s\n", strings.Join(experiment.FaultAdversaryNames(), ", "))
+	b.WriteString("metrics:\n")
+	for _, m := range Metrics() {
+		fmt.Fprintf(&b, "  %-17s %s\n", m.Name, m.Desc)
+	}
+	return b.String()
+}
+
+// paramString renders a resolved parameter map deterministically for Plan
+// lines and labels: "{}" or "{k=v, k=v}" in key order.
+func paramString(params map[string]float64) string {
+	if len(params) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, params[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
